@@ -1,0 +1,24 @@
+//! Criterion micro-benchmark of the Deep-Web data generators themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{flight_config, generate, stock_config};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.bench_function("stock_small", |b| {
+        let config = stock_config(2012).scaled(0.02, 0.1);
+        b.iter(|| generate(&config))
+    });
+    group.bench_function("flight_small", |b| {
+        let config = flight_config(2012).scaled(0.02, 0.1);
+        b.iter(|| generate(&config))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_generation
+}
+criterion_main!(benches);

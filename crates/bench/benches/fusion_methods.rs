@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the fusion methods (the cost side of
+//! Figure 12): per-method end-to-end fusion time on a reduced Stock and
+//! Flight snapshot, plus the cost of problem preparation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{flight_config, generate, stock_config};
+use fusion::{all_methods, FusionOptions, FusionProblem};
+
+fn bench_methods(c: &mut Criterion) {
+    let stock = generate(&stock_config(2012).scaled(0.03, 0.1));
+    let flight = generate(&flight_config(2012).scaled(0.03, 0.1));
+    let stock_problem = FusionProblem::from_snapshot(stock.reference_snapshot());
+    let flight_problem = FusionProblem::from_snapshot(flight.reference_snapshot());
+    let options = FusionOptions::standard();
+
+    let mut group = c.benchmark_group("fusion_methods");
+    for (domain, problem) in [("stock", &stock_problem), ("flight", &flight_problem)] {
+        for (_, method) in all_methods() {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), domain),
+                problem,
+                |b, problem| b.iter(|| method.run(problem, &options)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let stock = generate(&stock_config(2012).scaled(0.03, 0.1));
+    c.bench_function("problem_preparation_stock", |b| {
+        b.iter(|| FusionProblem::from_snapshot(stock.reference_snapshot()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_methods, bench_preparation
+}
+criterion_main!(benches);

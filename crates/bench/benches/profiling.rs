@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the Section-3 profiling measurements:
+//! redundancy, inconsistency, dominance, and source accuracy on one snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{generate, stock_config};
+use profiling::{
+    dominance_profile, redundancy_summary, snapshot_inconsistency, source_accuracies,
+};
+
+fn bench_profiling(c: &mut Criterion) {
+    let stock = generate(&stock_config(2012).scaled(0.03, 0.1));
+    let day = stock.collection.reference_day();
+
+    let mut group = c.benchmark_group("profiling");
+    group.bench_function("redundancy_summary", |b| {
+        b.iter(|| redundancy_summary(&day.snapshot))
+    });
+    group.bench_function("snapshot_inconsistency", |b| {
+        b.iter(|| snapshot_inconsistency(&day.snapshot))
+    });
+    group.bench_function("dominance_profile", |b| {
+        b.iter(|| dominance_profile(&day.snapshot, &day.gold))
+    });
+    group.bench_function("source_accuracies", |b| {
+        b.iter(|| source_accuracies(&day.snapshot, &day.gold))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_profiling
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 1 — attribute coverage: percentage of global attributes provided by
+//! more than 5, 10, 20, 30, 40, 50 sources.
+
+use bench::{format_percent, ExpArgs, Table};
+use profiling::coverage::{attribute_coverage_cdf, default_thresholds, fraction_covered_by};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Figure 1");
+    let mut table = Table::new(
+        "Figure 1: Attribute coverage (fraction of global attributes provided by > N sources)",
+        &["more than N sources", "stock", "flight"],
+    );
+    let stock_cdf = attribute_coverage_cdf(&stock.global_attribute_providers, &default_thresholds());
+    let flight_cdf =
+        attribute_coverage_cdf(&flight.global_attribute_providers, &default_thresholds());
+    for (s, f) in stock_cdf.iter().zip(&flight_cdf) {
+        table.row(&[
+            format!("> {}", s.min_sources),
+            format_percent(s.fraction_of_attributes),
+            format_percent(f.fraction_of_attributes),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "Stock attributes provided by at least 1/3 of the sources: {} (paper: 13.7%)",
+        format_percent(fraction_covered_by(
+            &stock.global_attribute_providers,
+            stock.config.num_sources(),
+            1.0 / 3.0
+        ))
+    );
+    println!(
+        "Flight attributes provided by more than half of the sources: {} (paper: 40%)",
+        format_percent(fraction_covered_by(
+            &flight.global_attribute_providers,
+            flight.config.num_sources(),
+            0.5
+        ))
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 3 — data-item redundancy: percentage of data items whose redundancy
+//! is above x, plus the mean redundancy quoted in the paper's text.
+
+use bench::{format_percent, ExpArgs, Table};
+use profiling::{item_redundancy_cdf, redundancy_summary};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Figure 3");
+    let stock_cdf = item_redundancy_cdf(stock.reference_snapshot());
+    let flight_cdf = item_redundancy_cdf(flight.reference_snapshot());
+    let mut table = Table::new(
+        "Figure 3: Data-item redundancy (fraction of items with redundancy >= x)",
+        &["x", "stock", "flight"],
+    );
+    for (s, f) in stock_cdf.iter().zip(&flight_cdf) {
+        table.row(&[
+            format!("{:.1}", s.threshold),
+            format_percent(s.fraction_above),
+            format_percent(f.fraction_above),
+        ]);
+    }
+    table.print();
+
+    let stock_summary = redundancy_summary(stock.reference_snapshot());
+    let flight_summary = redundancy_summary(flight.reference_snapshot());
+    println!(
+        "Mean item redundancy: stock {:.2} (paper 0.66), flight {:.2} (paper 0.32)",
+        stock_summary.mean_item_redundancy, flight_summary.mean_item_redundancy
+    );
+    println!(
+        "Items with redundancy > 0.5: stock {} (paper 64%), flight {} (paper 29%)",
+        format_percent(stock_summary.items_above_half),
+        format_percent(flight_summary.items_above_half)
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 4 — distributions of the number of values, entropy, and deviation
+//! over the data items of one snapshot per domain.
+
+use bench::{format_percent, ExpArgs, Table};
+use profiling::snapshot_inconsistency;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Figure 4");
+    let stock_dist = snapshot_inconsistency(stock.reference_snapshot());
+    let flight_dist = snapshot_inconsistency(flight.reference_snapshot());
+
+    let mut values = Table::new(
+        "Figure 4 (left): number of different values per item",
+        &["#values", "stock", "flight"],
+    );
+    for i in 0..10 {
+        let label = if i == 9 { "10+".to_string() } else { format!("{}", i + 1) };
+        values.row(&[
+            label,
+            format_percent(stock_dist.num_values_histogram[i]),
+            format_percent(flight_dist.num_values_histogram[i]),
+        ]);
+    }
+    values.print();
+
+    let mut entropy = Table::new(
+        "Figure 4 (middle): entropy of the value distribution",
+        &["entropy bin", "stock", "flight"],
+    );
+    for i in 0..11 {
+        let label = if i == 10 {
+            "[1.0, )".to_string()
+        } else {
+            format!("[{:.1}, {:.1})", i as f64 / 10.0, (i + 1) as f64 / 10.0)
+        };
+        entropy.row(&[
+            label,
+            format_percent(stock_dist.entropy_histogram[i]),
+            format_percent(flight_dist.entropy_histogram[i]),
+        ]);
+    }
+    entropy.print();
+
+    let mut deviation = Table::new(
+        "Figure 4 (right): deviation (relative for stock, per minute for flight)",
+        &["deviation bin", "stock", "flight"],
+    );
+    for i in 0..11 {
+        let label = if i == 10 {
+            "[1.0, ) or 10+ min".to_string()
+        } else {
+            format!("[{:.1}, {:.1})", i as f64 / 10.0, (i + 1) as f64 / 10.0)
+        };
+        deviation.row(&[
+            label,
+            format_percent(stock_dist.deviation_histogram[i]),
+            format_percent(flight_dist.deviation_histogram[i]),
+        ]);
+    }
+    deviation.print();
+
+    println!(
+        "Items with conflicting values: stock {} (paper 83%/70% overall), flight {} (paper 39%)",
+        format_percent(stock_dist.fraction_conflicting),
+        format_percent(flight_dist.fraction_conflicting)
+    );
+    println!(
+        "Mean #values: stock {:.2} (paper 3.7), flight {:.2} (paper 1.45); mean entropy: stock {:.2} (paper .58), flight {:.2} (paper .24)",
+        stock_dist.mean_num_values,
+        flight_dist.mean_num_values,
+        stock_dist.mean_entropy,
+        flight_dist.mean_entropy
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 6 — reasons for value inconsistency, attributed from the
+//! generator's claim provenance.
+
+use bench::{format_percent, ExpArgs, Table};
+use profiling::inconsistency_reasons;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Figure 6");
+    let stock_reasons =
+        inconsistency_reasons(stock.reference_snapshot(), stock.reference_provenance());
+    let flight_reasons =
+        inconsistency_reasons(flight.reference_snapshot(), flight.reference_provenance());
+
+    let paper_stock = [0.46, 0.06, 0.34, 0.03, 0.11];
+    let paper_flight = [0.33, 0.0, 0.11, 0.0, 0.56];
+
+    let mut table = Table::new(
+        "Figure 6: Reasons for value inconsistency",
+        &["reason", "stock", "stock (paper)", "flight", "flight (paper)"],
+    );
+    for (i, (s, f)) in stock_reasons.iter().zip(&flight_reasons).enumerate() {
+        table.row(&[
+            s.reason.clone(),
+            format_percent(s.share),
+            format_percent(paper_stock[i]),
+            format_percent(f.share),
+            format_percent(paper_flight[i]),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,50 @@
+//! Figure 7 — dominance factors: their distribution over data items and the
+//! precision of dominant values per dominance-factor bin.
+
+use bench::{format_percent, ExpArgs, Table};
+use profiling::dominance_profile;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Figure 7");
+    let stock_day = stock.collection.reference_day();
+    let flight_day = flight.collection.reference_day();
+    let stock_profile = dominance_profile(&stock_day.snapshot, &stock_day.gold);
+    let flight_profile = dominance_profile(&flight_day.snapshot, &flight_day.gold);
+
+    let mut table = Table::new(
+        "Figure 7: dominance-factor distribution and precision of dominant values",
+        &[
+            "factor bin",
+            "stock items",
+            "stock precision",
+            "flight items",
+            "flight precision",
+        ],
+    );
+    for (s, f) in stock_profile.buckets.iter().zip(&flight_profile.buckets) {
+        table.row(&[
+            format!("[{:.1}, {:.1})", s.factor_low, s.factor_low + 0.1),
+            format_percent(s.fraction_of_items),
+            format!("{:.2}", s.precision),
+            format_percent(f.fraction_of_items),
+            format!("{:.2}", f.precision),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "Overall precision of dominant values: stock {:.3} (paper 0.908), flight {:.3} (paper 0.864)",
+        stock_profile.overall_precision, flight_profile.overall_precision
+    );
+    println!(
+        "Items with dominance factor > 0.5: stock {} (paper 73%), flight {} (paper 82%)",
+        format_percent(stock_profile.fraction_above_half),
+        format_percent(flight_profile.fraction_above_half)
+    );
+    println!(
+        "Items with dominance factor > 0.9: stock {} (paper 42%), flight {} (paper 42%)",
+        format_percent(stock_profile.fraction_above_09),
+        format_percent(flight_profile.fraction_above_09)
+    );
+}

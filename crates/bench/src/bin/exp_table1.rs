@@ -1,0 +1,42 @@
+//! Table 1 — overview of the data collections: sources, collection period,
+//! objects, local/global attributes, and considered data items.
+
+use bench::{ExpArgs, Table};
+use datagen::GeneratedDomain;
+
+fn row(domain: &GeneratedDomain, paper: [&str; 6]) -> Vec<String> {
+    let cfg = &domain.config;
+    let snapshot = domain.reference_snapshot();
+    vec![
+        cfg.domain.clone(),
+        format!("{} (paper {})", cfg.num_sources(), paper[0]),
+        format!("{} days (paper {})", cfg.num_days, paper[1]),
+        format!("{}*{} (paper {})", cfg.num_objects, cfg.num_days, paper[2]),
+        format!("{} (paper {})", cfg.total_local_attributes, paper[3]),
+        format!("{} (paper {})", cfg.total_global_attributes, paper[4]),
+        format!(
+            "{} items/day, {} considered attrs (paper {})",
+            snapshot.num_items(),
+            cfg.num_attributes(),
+            paper[5]
+        ),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Table 1");
+    let mut table = Table::new(
+        "Table 1: Overview of data collections",
+        &["domain", "srcs", "period", "objects", "local attrs", "global attrs", "considered items"],
+    );
+    table.row(&row(
+        &stock,
+        ["55", "July 2011 (21)", "1000*21", "333", "153", "16000*21"],
+    ));
+    table.row(&row(
+        &flight,
+        ["38", "Dec 2011 (31)", "1200*31", "43", "15", "7200*31"],
+    ));
+    table.print();
+}

@@ -1,0 +1,59 @@
+//! Table 3 — attributes with the lowest and highest value inconsistency,
+//! measured by number of values, entropy, and deviation.
+
+use bench::{ExpArgs, Table};
+use datagen::GeneratedDomain;
+use profiling::attribute_inconsistency;
+
+fn report(domain: &GeneratedDomain) {
+    let name = &domain.config.domain;
+    let per_attr = attribute_inconsistency(domain.reference_snapshot());
+
+    for (measure, key) in [
+        ("number of values", 0usize),
+        ("entropy", 1),
+        ("deviation", 2),
+    ] {
+        let mut sorted = per_attr.clone();
+        sorted.sort_by(|a, b| {
+            let (x, y) = match key {
+                0 => (a.mean_num_values, b.mean_num_values),
+                1 => (a.mean_entropy, b.mean_entropy),
+                _ => (a.mean_deviation, b.mean_deviation),
+            };
+            y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut table = Table::new(
+            format!("Table 3 ({name}): attribute inconsistency by {measure}"),
+            &["rank", "high-inconsistency attr", "value", "low-inconsistency attr", "value"],
+        );
+        let n = sorted.len();
+        for i in 0..5.min(n) {
+            let hi = &sorted[i];
+            let lo = &sorted[n - 1 - i];
+            let pick = |a: &profiling::AttributeInconsistency| match key {
+                0 => a.mean_num_values,
+                1 => a.mean_entropy,
+                _ => a.mean_deviation,
+            };
+            table.row(&[
+                format!("{}", i + 1),
+                hi.name.clone(),
+                format!("{:.2}", pick(hi)),
+                lo.name.clone(),
+                format!("{:.2}", pick(lo)),
+            ]);
+        }
+        table.print();
+    }
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Table 3");
+    report(&stock);
+    report(&flight);
+    println!("Paper (stock): highest inconsistency on Volume, P/E, Market cap, EPS, Yield;");
+    println!("               lowest on Previous close, Today's high/low, Last price, Open price.");
+    println!("Paper (flight): highest on actual departure/arrival; lowest on scheduled departure and gates.");
+}

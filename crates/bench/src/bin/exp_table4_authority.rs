@@ -1,0 +1,32 @@
+//! Table 4 — accuracy and coverage of the authoritative sources.
+
+use bench::{ExpArgs, Table};
+use datagen::GeneratedDomain;
+use profiling::authority_report;
+
+fn report(domain: &GeneratedDomain, table: &mut Table) {
+    let day = domain.collection.reference_day();
+    for auth in authority_report(&day.snapshot, &day.gold) {
+        table.row(&[
+            domain.config.domain.clone(),
+            auth.name.clone(),
+            format!("{:.2}", auth.accuracy.unwrap_or(0.0)),
+            format!("{:.2}", auth.coverage),
+        ]);
+    }
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let (stock, flight) = args.both_domains("Table 4");
+    let mut table = Table::new(
+        "Table 4: accuracy and coverage of authoritative sources",
+        &["domain", "source", "accuracy", "coverage"],
+    );
+    report(&stock, &mut table);
+    report(&flight, &mut table);
+    table.print();
+    println!("Paper (stock): Google Finance .94/.82, Yahoo! Finance .93/.81, NASDAQ .92/.84,");
+    println!("               MSN Money .91/.89, Bloomberg .83/.81");
+    println!("Paper (flight): Orbitz .98/.87, Travelocity .95/.71, airport average .94/.03");
+}

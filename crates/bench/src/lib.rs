@@ -1,0 +1,11 @@
+//! Shared helpers for the experiment binaries (`exp_*`) and Criterion benches
+//! that reproduce every table and figure of the paper.
+//!
+//! See DESIGN.md for the experiment index (which binary regenerates which
+//! table/figure) and EXPERIMENTS.md for paper-vs-measured results.
+
+pub mod report;
+pub mod setup;
+
+pub use report::{format_percent, Table};
+pub use setup::{vs_paper, ExpArgs};

@@ -1,0 +1,114 @@
+//! Shared setup for the experiment binaries: command-line scaling arguments
+//! and generation of the two paper domains.
+//!
+//! Every `exp_*` binary accepts the same optional arguments:
+//!
+//! ```text
+//! exp_<name> [--scale S] [--days D] [--seed N]
+//! ```
+//!
+//! * `--scale` multiplies the number of objects (default 0.25 — a quarter of
+//!   the paper's 1000 stocks / 1200 flights — so the experiments run in
+//!   seconds; pass 1.0 to reproduce at full scale);
+//! * `--days`  multiplies the number of collection days (default 0.25);
+//! * `--seed`  master seed (default 2012, the paper's publication year).
+
+use datagen::{flight_config, generate, stock_config, GeneratedDomain};
+
+/// Parsed experiment arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpArgs {
+    /// Object-count multiplier relative to the paper scale.
+    pub scale: f64,
+    /// Day-count multiplier relative to the paper scale.
+    pub days: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            scale: 0.25,
+            days: 0.25,
+            seed: 2012,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args()` (unknown arguments are ignored).
+    pub fn from_env() -> Self {
+        let mut parsed = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        parsed.scale = v;
+                    }
+                    i += 1;
+                }
+                "--days" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        parsed.days = v;
+                    }
+                    i += 1;
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        parsed.seed = v;
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        parsed
+    }
+
+    /// Generate the Stock domain at the configured scale.
+    pub fn stock(&self) -> GeneratedDomain {
+        generate(&stock_config(self.seed).scaled(self.scale, self.days))
+    }
+
+    /// Generate the Flight domain at the configured scale.
+    pub fn flight(&self) -> GeneratedDomain {
+        generate(&flight_config(self.seed).scaled(self.scale, self.days))
+    }
+
+    /// Generate both domains and print a short banner.
+    pub fn both_domains(&self, experiment: &str) -> (GeneratedDomain, GeneratedDomain) {
+        println!(
+            "[{experiment}] scale={} days={} seed={}  (pass --scale 1.0 --days 1.0 for paper scale)\n",
+            self.scale, self.days, self.seed
+        );
+        (self.stock(), self.flight())
+    }
+}
+
+/// Format a `(measured, paper)` pair for the report tables.
+pub fn vs_paper(measured: f64, paper: f64) -> (String, String) {
+    (format!("{measured:.3}"), format!("{paper:.3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_reduced_scale() {
+        let args = ExpArgs::default();
+        assert!(args.scale < 1.0);
+        assert_eq!(args.seed, 2012);
+        let stock = generate(&stock_config(args.seed).scaled(0.01, 0.1));
+        assert_eq!(stock.config.domain, "stock");
+    }
+
+    #[test]
+    fn vs_paper_formats_three_decimals() {
+        assert_eq!(vs_paper(0.9081, 0.908), ("0.908".into(), "0.908".into()));
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared pools of plausible-but-wrong values.
+//!
+//! When several low-quality sources err on the same data item they frequently
+//! err *towards the same wrong value* (stale feeds, shared upstream
+//! providers, common parsing quirks). The paper's dominance-factor analysis
+//! (Figure 7) and its fusion-error analysis (Figure 11, "similar 'false'
+//! values are provided" / "'false' value dominant") depend on this clustering.
+//! The generator therefore draws pure errors from a small deterministic pool
+//! of wrong values per (day, item) rather than from an unbounded random
+//! space.
+
+use datamodel::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically derive the wrong-value pool for one (day, item).
+#[derive(Debug, Clone)]
+pub struct AlternativePool {
+    values: Vec<Value>,
+}
+
+impl AlternativePool {
+    /// Build a pool of `count` wrong values around `truth`, seeded by
+    /// `item_seed` (hash of day and item identity).
+    pub fn for_item(truth: &Value, item_seed: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(item_seed ^ 0xa17e_93b5_u64);
+        let mut values = Vec::with_capacity(count);
+        for slot in 0..count {
+            values.push(perturb(truth, &mut rng, slot));
+        }
+        Self { values }
+    }
+
+    /// The pool values, most popular first (error-making sources are biased
+    /// towards the head of the pool).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Pick a wrong value: weighted towards the head of the pool, with
+    /// `fresh_prob` probability of generating a fresh (unshared) error.
+    pub fn pick(&self, rng: &mut impl Rng, truth: &Value, fresh_prob: f64) -> Value {
+        if self.values.is_empty() || rng.gen_bool(fresh_prob.clamp(0.0, 1.0)) {
+            return perturb(truth, rng, usize::MAX);
+        }
+        // Geometric-ish preference for the first pool entries.
+        let mut idx = 0usize;
+        while idx + 1 < self.values.len() && rng.gen_bool(0.35) {
+            idx += 1;
+        }
+        self.values[idx].clone()
+    }
+}
+
+/// Produce a wrong value "near" the truth: numeric values are off by 3–45%,
+/// times by 11–90 minutes (always beyond the 10-minute tolerance), text values
+/// get a different suffix.
+fn perturb(truth: &Value, rng: &mut impl Rng, slot: usize) -> Value {
+    match truth {
+        Value::Number { value, .. } => {
+            let magnitude: f64 = rng.gen_range(0.03..0.45);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            Value::number(value * (1.0 + sign * magnitude))
+        }
+        Value::Time(m) => {
+            let offset: i64 = rng.gen_range(11..90);
+            let sign: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+            Value::time(m + sign * offset)
+        }
+        Value::Text(s) => Value::text(format!("{s}-x{}", slot.min(97) + rng.gen_range(0..3))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_deterministic() {
+        let truth = Value::number(100.0);
+        let a = AlternativePool::for_item(&truth, 42, 3);
+        let b = AlternativePool::for_item(&truth, 42, 3);
+        assert_eq!(a.values(), b.values());
+        let c = AlternativePool::for_item(&truth, 43, 3);
+        assert_ne!(a.values(), c.values());
+    }
+
+    #[test]
+    fn wrong_values_differ_from_truth() {
+        let truth = Value::number(100.0);
+        let pool = AlternativePool::for_item(&truth, 7, 4);
+        for v in pool.values() {
+            let diff = (v.as_f64().unwrap() - 100.0).abs();
+            assert!(diff >= 2.9, "wrong value {v} too close to the truth");
+        }
+    }
+
+    #[test]
+    fn time_errors_exceed_tolerance() {
+        let truth = Value::time(600);
+        let pool = AlternativePool::for_item(&truth, 9, 4);
+        for v in pool.values() {
+            let diff = (v.as_f64().unwrap() - 600.0).abs();
+            assert!(diff > 10.0, "time error {v} is within the 10-minute tolerance");
+        }
+    }
+
+    #[test]
+    fn text_errors_differ() {
+        let truth = Value::text("cat-5");
+        let pool = AlternativePool::for_item(&truth, 11, 3);
+        for v in pool.values() {
+            assert_ne!(*v, truth);
+        }
+    }
+
+    #[test]
+    fn pick_prefers_pool_head() {
+        let truth = Value::number(100.0);
+        let pool = AlternativePool::for_item(&truth, 1, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut head = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            if pool.pick(&mut rng, &truth, 0.0) == pool.values()[0] {
+                head += 1;
+            }
+        }
+        assert!(
+            head as f64 / trials as f64 > 0.5,
+            "head of the pool should receive the majority of the errors"
+        );
+    }
+
+    #[test]
+    fn pick_with_full_fresh_prob_ignores_pool() {
+        let truth = Value::number(100.0);
+        let pool = AlternativePool::for_item(&truth, 1, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = pool.pick(&mut rng, &truth, 1.0);
+        assert_ne!(v, truth);
+    }
+}

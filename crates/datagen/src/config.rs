@@ -1,0 +1,319 @@
+//! Generator configuration: domains, attributes, sources, and error mixes.
+
+use datamodel::AttrKind;
+use serde::{Deserialize, Serialize};
+
+/// How the paper-style gold standard for a generated domain is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoldMode {
+    /// Vote over the authority sources, keeping items covered by at least
+    /// `min_providers` of them (the paper's Stock procedure).
+    AuthorityVoting,
+    /// Trust the values provided by the designated gold-provider sources
+    /// (the paper's Flight procedure, which trusts the airline websites).
+    TrustedSources,
+}
+
+/// Gold-standard construction parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GoldSpec {
+    /// Construction mode.
+    pub mode: GoldMode,
+    /// Number of objects sampled into the gold standard (the paper uses 200
+    /// stocks and 100 flights).
+    pub num_gold_objects: u32,
+    /// Minimum number of authority providers for an item to enter the gold
+    /// standard under [`GoldMode::AuthorityVoting`].
+    pub min_providers: usize,
+}
+
+/// Relative shares of the inconsistency reasons a domain exhibits (Figure 6 of
+/// the paper). The shares apply to the *erroneous* fraction of a source's
+/// claims; they need not sum exactly to one — they are renormalized.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ErrorMix {
+    /// Semantics ambiguity (different definition of a statistical attribute,
+    /// takeoff vs. gate-departure time, ...).
+    pub semantics: f64,
+    /// Instance ambiguity (value of a different object, e.g. a re-mapped
+    /// terminated stock symbol).
+    pub instance: f64,
+    /// Out-of-date data.
+    pub out_of_date: f64,
+    /// Unit errors (e.g. 76M reported as 76B).
+    pub unit: f64,
+    /// Pure errors with no identifiable cause.
+    pub pure: f64,
+}
+
+impl ErrorMix {
+    /// The Stock-domain mix of Figure 6: 46% semantics, 6% instance, 34%
+    /// out-of-date, 3% unit, 11% pure.
+    pub fn stock() -> Self {
+        Self {
+            semantics: 0.46,
+            instance: 0.06,
+            out_of_date: 0.34,
+            unit: 0.03,
+            pure: 0.11,
+        }
+    }
+
+    /// The Flight-domain mix of Figure 6: 33% semantics, 11% out-of-date,
+    /// 56% pure.
+    pub fn flight() -> Self {
+        Self {
+            semantics: 0.33,
+            instance: 0.0,
+            out_of_date: 0.11,
+            unit: 0.0,
+            pure: 0.56,
+        }
+    }
+
+    /// Sum of the raw shares.
+    pub fn total(&self) -> f64 {
+        self.semantics + self.instance + self.out_of_date + self.unit + self.pure
+    }
+}
+
+/// Specification of one considered attribute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttrSpec {
+    /// Attribute name (e.g. "Last price").
+    pub name: String,
+    /// Kind (numeric with a typical scale, time, or categorical).
+    pub kind: AttrKind,
+    /// Whether the attribute is statistical (more prone to semantics
+    /// ambiguity) rather than real-time.
+    pub statistical: bool,
+    /// Multiplicative factor applied to the truth to produce the
+    /// "alternative semantics" value of a numeric attribute (e.g. a source
+    /// reporting a yearly instead of quarterly dividend). Time attributes use
+    /// a fixed offset instead; ignored for categorical attributes.
+    pub variant_factor: f64,
+    /// Fraction of (typical-accuracy) sources that adopt the alternative
+    /// semantics for this attribute. Ambiguity is a *shared* phenomenon: when
+    /// the adoption rate approaches one half, the variant value can become
+    /// the dominant value of the item, which is what drags the precision of
+    /// dominant values below 1 in the paper (Section 3.2). Scaled per source
+    /// by its semantics error budget, so authoritative sources adopt variants
+    /// rarely.
+    pub variant_adoption: f64,
+    /// Relative day-to-day drift of the true value (0.0 = static).
+    pub drift: f64,
+}
+
+/// Specification of one source's behaviour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Whether the source participates in authority-voting gold standards
+    /// and in the Table-4 "authoritative sources" report.
+    pub authority: bool,
+    /// Whether the source's claims are trusted directly for the gold standard
+    /// under [`GoldMode::TrustedSources`] (the airline websites).
+    pub gold_provider: bool,
+    /// Fraction of objects the source covers.
+    pub object_coverage: f64,
+    /// Optional deterministic object partition `(modulus, remainder)`: the
+    /// source covers only objects whose id satisfies
+    /// `id % modulus == remainder` (airline websites cover only their own
+    /// flights). `object_coverage` is applied within the partition.
+    pub object_stride: Option<(u32, u32)>,
+    /// Fraction of the considered attributes the source provides.
+    pub attr_coverage: f64,
+    /// Target accuracy: probability that a claim on a covered item matches
+    /// the truth. The complement is split across error categories according
+    /// to the domain [`ErrorMix`].
+    pub accuracy: f64,
+    /// Rounding granularity the source applies to numeric values, expressed
+    /// as a fraction of the attribute scale (e.g. `1e-2` rounds a volume of
+    /// scale 5e6 to the nearest 50 000). `0.0` means exact values.
+    pub relative_rounding: f64,
+    /// Index (into the config's source list) of the source this one copies
+    /// from, for planted copy groups.
+    pub copies_from: Option<usize>,
+    /// Probability of copying each of the original's claims verbatim (the
+    /// rest are dropped); only meaningful for copiers.
+    pub copy_fidelity: f64,
+    /// Day after which the source stops refreshing its data entirely (the
+    /// StockSmart phenomenon); `None` means the source stays live.
+    pub dead_after_day: Option<u32>,
+    /// How many days out of date the source's stale claims are.
+    pub staleness_days: u32,
+}
+
+impl SourceSpec {
+    /// A well-behaved independent source with the given name, accuracy, and
+    /// coverage; other knobs take neutral defaults.
+    pub fn independent(name: impl Into<String>, accuracy: f64, object_coverage: f64) -> Self {
+        Self {
+            name: name.into(),
+            authority: false,
+            gold_provider: false,
+            object_coverage,
+            object_stride: None,
+            attr_coverage: 1.0,
+            accuracy,
+            relative_rounding: 0.0,
+            copies_from: None,
+            copy_fidelity: 1.0,
+            dead_after_day: None,
+            staleness_days: 1,
+        }
+    }
+
+    /// Mark as an authority source (used by gold-standard voting and Table 4).
+    pub fn authority(mut self) -> Self {
+        self.authority = true;
+        self
+    }
+
+    /// Mark as a gold-provider source (trusted directly for the gold standard).
+    pub fn gold_provider(mut self) -> Self {
+        self.gold_provider = true;
+        self
+    }
+
+    /// Set the fraction of considered attributes this source provides.
+    pub fn with_attr_coverage(mut self, attr_coverage: f64) -> Self {
+        self.attr_coverage = attr_coverage;
+        self
+    }
+
+    /// Set the rounding habit (fraction of the attribute scale).
+    pub fn with_rounding(mut self, relative_rounding: f64) -> Self {
+        self.relative_rounding = relative_rounding;
+        self
+    }
+
+    /// Make this source a copier of the source at `original_index`.
+    pub fn copying(mut self, original_index: usize, fidelity: f64) -> Self {
+        self.copies_from = Some(original_index);
+        self.copy_fidelity = fidelity;
+        self
+    }
+
+    /// Restrict the source to objects with `id % modulus == remainder`.
+    pub fn with_object_stride(mut self, modulus: u32, remainder: u32) -> Self {
+        self.object_stride = Some((modulus, remainder));
+        self
+    }
+
+    /// Make the source stop refreshing after `day`.
+    pub fn dead_after(mut self, day: u32) -> Self {
+        self.dead_after_day = Some(day);
+        self
+    }
+
+    /// Set how stale the source's out-of-date claims are.
+    pub fn with_staleness_days(mut self, days: u32) -> Self {
+        self.staleness_days = days;
+        self
+    }
+}
+
+/// Full configuration of a generated domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainConfig {
+    /// Domain name ("stock", "flight").
+    pub domain: String,
+    /// Master seed; every run with the same config is bit-identical.
+    pub seed: u64,
+    /// Number of objects (stock-day symbols / flight-day flights).
+    pub num_objects: u32,
+    /// Number of collection days.
+    pub num_days: u32,
+    /// The considered attributes (the 16 stock / 6 flight attributes the
+    /// paper analyses).
+    pub attributes: Vec<AttrSpec>,
+    /// Total number of *global* attributes in the domain, for the Figure-1
+    /// coverage distribution (153 for Stock, 15 for Flight). Values are only
+    /// materialized for the considered attributes.
+    pub total_global_attributes: u32,
+    /// Total number of *local* attributes before schema matching (333 / 43).
+    pub total_local_attributes: u32,
+    /// Source behaviour specifications.
+    pub sources: Vec<SourceSpec>,
+    /// Error-reason mix for the domain (Figure 6).
+    pub error_mix: ErrorMix,
+    /// Gold-standard construction parameters.
+    pub gold: GoldSpec,
+    /// Fraction of objects affected by instance ambiguity (terminated stock
+    /// symbols re-mapped by some sources).
+    pub ambiguous_object_fraction: f64,
+}
+
+impl DomainConfig {
+    /// Scale the configuration down (or up) for fast tests and benches:
+    /// multiplies the number of objects and days by `object_factor` /
+    /// `day_factor` (at least 1 each) while keeping the source population
+    /// and behaviour identical.
+    pub fn scaled(mut self, object_factor: f64, day_factor: f64) -> Self {
+        self.num_objects = ((self.num_objects as f64 * object_factor).round() as u32).max(1);
+        self.num_days = ((self.num_days as f64 * day_factor).round() as u32).max(1);
+        self.gold.num_gold_objects = self.gold.num_gold_objects.min(self.num_objects);
+        self
+    }
+
+    /// Override the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of considered attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_mix_shares() {
+        let stock = ErrorMix::stock();
+        assert!((stock.total() - 1.0).abs() < 1e-9);
+        let flight = ErrorMix::flight();
+        assert!((flight.total() - 1.0).abs() < 1e-9);
+        assert!(flight.pure > stock.pure);
+    }
+
+    #[test]
+    fn source_spec_builders() {
+        let s = SourceSpec::independent("Orbitz", 0.98, 0.87)
+            .authority()
+            .with_attr_coverage(0.9)
+            .with_rounding(1e-3)
+            .with_staleness_days(2);
+        assert!(s.authority);
+        assert_eq!(s.attr_coverage, 0.9);
+        assert_eq!(s.relative_rounding, 1e-3);
+        assert_eq!(s.staleness_days, 2);
+        assert!(s.copies_from.is_none());
+
+        let copier = SourceSpec::independent("Mirror", 0.9, 0.5).copying(3, 0.99);
+        assert_eq!(copier.copies_from, Some(3));
+        assert_eq!(copier.copy_fidelity, 0.99);
+
+        let dead = SourceSpec::independent("StockSmart", 0.9, 1.0).dead_after(0);
+        assert_eq!(dead.dead_after_day, Some(0));
+    }
+
+    #[test]
+    fn scaling_preserves_sources_and_clamps() {
+        let cfg = crate::stock::stock_config(7).scaled(0.01, 0.2);
+        assert_eq!(cfg.num_sources(), 55);
+        assert!(cfg.num_objects >= 1);
+        assert!(cfg.gold.num_gold_objects <= cfg.num_objects);
+    }
+}

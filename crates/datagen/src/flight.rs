@@ -1,0 +1,224 @@
+//! Paper-calibrated configuration of the Flight domain.
+//!
+//! Reproduces the collection described in Section 2.2 of the paper: 38
+//! sources (3 airline websites, 8 airport websites, 27 third-party sites),
+//! 1200 flights, every day of December 2011 (31 snapshots), the 6 popular
+//! attributes, and the five copy groups of Table 5. The airline websites are
+//! the gold-standard providers (each covers only its own flights); the copy
+//! groups deliberately include low-accuracy originals, which is what makes
+//! copying so harmful — and ACCUCOPY so helpful — in this domain.
+
+use crate::config::{AttrSpec, DomainConfig, ErrorMix, GoldMode, GoldSpec, SourceSpec};
+use datamodel::AttrKind;
+
+/// Number of sources in the Flight collection.
+pub const FLIGHT_SOURCES: usize = 38;
+/// Number of flights.
+pub const FLIGHT_OBJECTS: u32 = 1200;
+/// Number of daily snapshots in December 2011.
+pub const FLIGHT_DAYS: u32 = 31;
+
+/// The 6 considered attributes: scheduled/actual departure/arrival time and
+/// departure/arrival gate. Actual times are marked "statistical" because they
+/// are the ones subject to semantics ambiguity (takeoff/landing time versus
+/// gate time).
+pub fn flight_attributes() -> Vec<AttrSpec> {
+    let time = |name: &str, statistical: bool, adoption: f64, drift: f64| AttrSpec {
+        name: name.to_string(),
+        kind: AttrKind::Time,
+        statistical,
+        variant_factor: 1.0,
+        variant_adoption: adoption,
+        drift,
+    };
+    let gate = |name: &str| AttrSpec {
+        name: name.to_string(),
+        kind: AttrKind::Categorical { cardinality: 40 },
+        statistical: false,
+        variant_factor: 1.0,
+        variant_adoption: 0.0,
+        drift: 0.1,
+    };
+    vec![
+        time("Scheduled departure", false, 0.0, 0.02),
+        time("Scheduled arrival", false, 0.0, 0.02),
+        time("Actual departure", true, 0.38, 0.40),
+        time("Actual arrival", true, 0.38, 0.40),
+        gate("Departure gate"),
+        gate("Arrival gate"),
+    ]
+}
+
+/// Build the full Flight-domain configuration for the given master seed.
+pub fn flight_config(seed: u64) -> DomainConfig {
+    let mut sources = Vec::with_capacity(FLIGHT_SOURCES);
+
+    // Three airline websites: gold-standard providers, each covering only its
+    // own flights (objects partitioned by id modulo 3), with very high
+    // accuracy on them.
+    for (i, name) in ["AA.com", "United.com", "Continental.com"].iter().enumerate() {
+        sources.push(
+            SourceSpec::independent(*name, 0.985, 1.0)
+                .gold_provider()
+                .with_object_stride(3, i as u32)
+                .with_attr_coverage(1.0),
+        );
+    }
+
+    // Authoritative third-party aggregators (Table 4).
+    sources.push(
+        SourceSpec::independent("Orbitz", 0.98, 0.87)
+            .authority()
+            .with_attr_coverage(0.95),
+    );
+    sources.push(
+        SourceSpec::independent("Travelocity", 0.95, 0.71)
+            .authority()
+            .with_attr_coverage(0.90),
+    );
+
+    // Eight airport websites: accurate but with tiny coverage (≈ 3% of the
+    // flights each).
+    for i in 0..8 {
+        sources.push(
+            SourceSpec::independent(format!("Airport {:02}", i + 1), 0.94, 0.03)
+                .authority()
+                .with_attr_coverage(0.80),
+        );
+    }
+
+    // Copy groups of Table 5 (within the third-party population):
+    //   5 sources, accuracy ≈ .71, schema similarity .80 (claimed dependence)
+    //   4 sources, accuracy ≈ .53 (query redirection)
+    //   3 sources, accuracy ≈ .92 (claimed dependence)
+    //   2 sources, accuracy ≈ .93 (embedded interface)
+    //   2 sources, accuracy ≈ .61 (embedded interface)
+    let group_specs: [(usize, f64, f64, &str); 5] = [
+        (5, 0.71, 0.80, "DependGroup"),
+        (4, 0.53, 0.85, "RedirectGroup"),
+        (3, 0.92, 1.0, "PartnerGroup"),
+        (2, 0.93, 1.0, "EmbedHigh"),
+        (2, 0.61, 1.0, "EmbedLow"),
+    ];
+    for (size, accuracy, attr_cov, label) in group_specs {
+        let original_index = sources.len();
+        sources.push(
+            SourceSpec::independent(format!("{label} Original"), accuracy, 0.70)
+                .with_attr_coverage(attr_cov),
+        );
+        for i in 1..size {
+            sources.push(
+                SourceSpec::independent(format!("{label} Copy {i}"), accuracy, 0.70)
+                    .with_attr_coverage(attr_cov)
+                    .copying(original_index, 0.99),
+            );
+        }
+    }
+
+    // Remaining independent third-party sources: accuracies spread over the
+    // paper's observed range (.43 – .99, mean ≈ .80) with moderate and varied
+    // coverage (the paper reports only 28% of the sources providing more than
+    // half of the data items).
+    let remaining = FLIGHT_SOURCES - sources.len();
+    for i in 0..remaining {
+        let frac = i as f64 / (remaining.saturating_sub(1).max(1)) as f64;
+        let accuracy = 0.96 - 0.53 * frac * frac;
+        let object_coverage = 0.25 + 0.60 * (((i * 5) % 9) as f64 / 8.0);
+        let attr_coverage = 0.50 + 0.50 * (((i * 11) % 7) as f64 / 6.0);
+        sources.push(
+            SourceSpec::independent(format!("FlightSite {:02}", i + 1), accuracy, object_coverage)
+                .with_attr_coverage(attr_coverage),
+        );
+    }
+
+    DomainConfig {
+        domain: "flight".to_string(),
+        seed,
+        num_objects: FLIGHT_OBJECTS,
+        num_days: FLIGHT_DAYS,
+        attributes: flight_attributes(),
+        total_global_attributes: 15,
+        total_local_attributes: 43,
+        sources,
+        error_mix: ErrorMix::flight(),
+        gold: GoldSpec {
+            mode: GoldMode::TrustedSources,
+            num_gold_objects: 100,
+            min_providers: 1,
+        },
+        ambiguous_object_fraction: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_parameters() {
+        let cfg = flight_config(1);
+        assert_eq!(cfg.num_sources(), FLIGHT_SOURCES);
+        assert_eq!(cfg.num_objects, FLIGHT_OBJECTS);
+        assert_eq!(cfg.num_days, FLIGHT_DAYS);
+        assert_eq!(cfg.num_attributes(), 6);
+        assert_eq!(cfg.total_global_attributes, 15);
+        assert_eq!(cfg.gold.num_gold_objects, 100);
+    }
+
+    #[test]
+    fn source_population_structure() {
+        let cfg = flight_config(1);
+        let gold_providers = cfg.sources.iter().filter(|s| s.gold_provider).count();
+        assert_eq!(gold_providers, 3);
+        let airports = cfg
+            .sources
+            .iter()
+            .filter(|s| s.name.starts_with("Airport"))
+            .count();
+        assert_eq!(airports, 8);
+        let copiers = cfg.sources.iter().filter(|s| s.copies_from.is_some()).count();
+        // (5-1) + (4-1) + (3-1) + (2-1) + (2-1) = 11 copiers.
+        assert_eq!(copiers, 11);
+        // The copy groups of Table 5 involve 16 sources in total.
+        let originals_with_copies: std::collections::HashSet<usize> = cfg
+            .sources
+            .iter()
+            .filter_map(|s| s.copies_from)
+            .collect();
+        assert_eq!(copiers + originals_with_copies.len(), 16);
+    }
+
+    #[test]
+    fn airlines_partition_the_objects() {
+        let cfg = flight_config(1);
+        let strides: Vec<(u32, u32)> = cfg
+            .sources
+            .iter()
+            .filter(|s| s.gold_provider)
+            .map(|s| s.object_stride.unwrap())
+            .collect();
+        assert_eq!(strides, vec![(3, 0), (3, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn accuracy_band_matches_paper() {
+        let cfg = flight_config(1);
+        let accuracies: Vec<f64> = cfg
+            .sources
+            .iter()
+            .filter(|s| !s.gold_provider)
+            .map(|s| s.accuracy)
+            .collect();
+        let mean = accuracies.iter().sum::<f64>() / accuracies.len() as f64;
+        assert!(mean > 0.74 && mean < 0.88, "mean accuracy {mean}");
+        assert!(accuracies.iter().cloned().fold(f64::INFINITY, f64::min) >= 0.42);
+    }
+
+    #[test]
+    fn actual_times_are_semantics_prone() {
+        let attrs = flight_attributes();
+        assert!(attrs.iter().any(|a| a.name == "Actual departure" && a.statistical));
+        assert!(attrs.iter().any(|a| a.name == "Scheduled departure" && !a.statistical));
+        assert_eq!(attrs.len(), 6);
+    }
+}

@@ -1,0 +1,679 @@
+//! The generation driver: turn a [`DomainConfig`] into a multi-day
+//! [`Collection`] with provenance, planted copy groups, and gold standards.
+
+use crate::alternatives::AlternativePool;
+use crate::config::{DomainConfig, GoldMode, SourceSpec};
+use crate::provenance::{ClaimOutcome, ClaimProvenance, DayProvenance, InconsistencyReason};
+use crate::world::TrueWorld;
+use datamodel::{
+    AttrId, AttrKind, Collection, DomainSchema, GoldStandard, ItemId, ObjectId, Snapshot,
+    SnapshotBuilder, SourceId, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything the generator produces for one domain.
+#[derive(Debug, Clone)]
+pub struct GeneratedDomain {
+    /// The configuration the domain was generated from.
+    pub config: DomainConfig,
+    /// Multi-day observation tables with paper-style gold standards and the
+    /// generator's true world per day.
+    pub collection: Collection,
+    /// Per-day claim provenance (reason behind every erroneous claim).
+    pub provenance: Vec<DayProvenance>,
+    /// The planted copy groups (original first, then its copiers).
+    pub copy_groups: Vec<Vec<SourceId>>,
+    /// For every *global* attribute of the domain (not only the considered
+    /// ones), the number of sources providing it — the Figure-1 distribution.
+    pub global_attribute_providers: Vec<u32>,
+    /// The generated true world.
+    pub world: TrueWorld,
+}
+
+impl GeneratedDomain {
+    /// The snapshot the paper-style single-day analyses use (a mid-period
+    /// day, mirroring the paper's choice of 7/7/2011 and 12/8/2011).
+    pub fn reference_snapshot(&self) -> &Snapshot {
+        &self.collection.reference_day().snapshot
+    }
+
+    /// The paper-style gold standard of the reference day.
+    pub fn reference_gold(&self) -> &GoldStandard {
+        &self.collection.reference_day().gold
+    }
+
+    /// The true world of the reference day.
+    pub fn reference_truth(&self) -> &GoldStandard {
+        &self.collection.reference_day().truth
+    }
+
+    /// Provenance of the reference day.
+    pub fn reference_provenance(&self) -> &DayProvenance {
+        &self.provenance[self.collection.reference_day_index()]
+    }
+}
+
+/// Per-source derived generation plan (coverage sets and error probabilities).
+struct SourcePlan {
+    covered_objects: Vec<bool>,
+    covered_attrs: Vec<bool>,
+    variant_attrs: Vec<bool>,
+    mismapped_objects: Vec<bool>,
+    stale_prob: f64,
+    unit_prob: f64,
+    pure_prob: f64,
+    /// Absolute rounding granularity per attribute (0 = exact).
+    rounding: Vec<f64>,
+}
+
+/// Generate a domain from its configuration. Fully deterministic in
+/// `config.seed`.
+pub fn generate(config: &DomainConfig) -> GeneratedDomain {
+    let schema = Arc::new(build_schema(config));
+    let world = TrueWorld::generate(config);
+    let plans: Vec<SourcePlan> = config
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| build_plan(config, &world, spec, i))
+        .collect();
+
+    let mut collection = Collection::new(Arc::clone(&schema));
+    let mut provenance = Vec::with_capacity(config.num_days as usize);
+    for day in 0..config.num_days {
+        let (snapshot, day_prov) = generate_day(config, &schema, &world, &plans, day);
+        let gold = build_gold(config, &snapshot);
+        let truth = restrict_truth(&world.truth_gold(day), &snapshot);
+        collection.push_day(snapshot, gold, truth);
+        provenance.push(day_prov);
+    }
+
+    GeneratedDomain {
+        config: config.clone(),
+        copy_groups: schema.copy_groups(),
+        global_attribute_providers: global_attribute_providers(config),
+        collection,
+        provenance,
+        world,
+    }
+}
+
+fn build_schema(config: &DomainConfig) -> DomainSchema {
+    let mut schema = DomainSchema::new(config.domain.clone());
+    for attr in &config.attributes {
+        schema.add_attribute(attr.name.clone(), attr.kind, attr.statistical);
+    }
+    for spec in &config.sources {
+        schema.add_source(spec.name.clone(), spec.authority);
+    }
+    for (i, spec) in config.sources.iter().enumerate() {
+        if let Some(orig) = spec.copies_from {
+            schema.set_copy_of(SourceId(i as u32), SourceId(orig as u32));
+        }
+    }
+    schema
+}
+
+fn build_plan(
+    config: &DomainConfig,
+    world: &TrueWorld,
+    spec: &SourceSpec,
+    source_index: usize,
+) -> SourcePlan {
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(source_index as u64 + 1),
+    );
+    let num_attrs = config.attributes.len();
+    let num_objects = config.num_objects as usize;
+
+    // Attribute coverage (at least one attribute).
+    let mut covered_attrs: Vec<bool> = (0..num_attrs)
+        .map(|_| rng.gen_bool(spec.attr_coverage.clamp(0.0, 1.0)))
+        .collect();
+    if !covered_attrs.iter().any(|c| *c) {
+        covered_attrs[rng.gen_range(0..num_attrs)] = true;
+    }
+
+    // Object coverage, optionally within a deterministic partition.
+    let covered_objects: Vec<bool> = (0..num_objects)
+        .map(|o| {
+            let in_partition = match spec.object_stride {
+                Some((modulus, remainder)) => (o as u32) % modulus.max(1) == remainder,
+                None => true,
+            };
+            in_partition && rng.gen_bool(spec.object_coverage.clamp(0.0, 1.0))
+        })
+        .collect();
+
+    // Error budget split.
+    let error_budget = (1.0 - spec.accuracy).clamp(0.0, 1.0);
+    let mix_total = config.error_mix.total().max(1e-9);
+    let semantics_budget = error_budget * config.error_mix.semantics / mix_total;
+    let instance_budget = error_budget * config.error_mix.instance / mix_total;
+    let stale_budget = error_budget * config.error_mix.out_of_date / mix_total;
+    let unit_budget = error_budget * config.error_mix.unit / mix_total;
+    let pure_budget = error_budget * config.error_mix.pure / mix_total;
+
+    // Semantics ambiguity: structural per (source, statistical attribute).
+    // The adoption rate is attribute-driven (`variant_adoption`) and scaled
+    // by the source's own semantics error budget relative to a typical
+    // source, so accurate/authoritative sources mostly keep the standard
+    // semantics while sloppier sources adopt the variants more often.
+    let statistical_covered = config
+        .attributes
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| covered_attrs[*i] && a.statistical)
+        .count();
+    const TYPICAL_SEMANTICS_BUDGET: f64 = 0.06;
+    // Super-linear scaling concentrates variant adoption on the sloppier
+    // sources: authoritative sources essentially always keep the standard
+    // semantics (so gold-standard voting stays on it), while low-accuracy
+    // sources adopt the variants often — which is what lets the
+    // trust-aware fusion methods recover the items where a variant value
+    // happens to dominate.
+    let semantic_factor = (semantics_budget / TYPICAL_SEMANTICS_BUDGET)
+        .powf(1.15)
+        .clamp(0.0, 2.2);
+    let variant_attrs: Vec<bool> = config
+        .attributes
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            covered_attrs[i]
+                && a.statistical
+                && rng.gen_bool((a.variant_adoption * semantic_factor).clamp(0.0, 1.0))
+        })
+        .collect();
+
+    // Instance ambiguity: structural per (source, ambiguous object).
+    let ambiguous_fraction = config.ambiguous_object_fraction.max(1e-9);
+    let mismap_prob = (instance_budget / ambiguous_fraction).clamp(0.0, 1.0);
+    let mismapped_objects: Vec<bool> = (0..num_objects)
+        .map(|o| {
+            covered_objects[o]
+                && world.is_ambiguous_object(ObjectId(o as u32))
+                && rng.gen_bool(mismap_prob)
+        })
+        .collect();
+
+    // Semantics errors not realizable (no statistical attribute covered) are
+    // folded into the pure-error budget so low-coverage sources still hit
+    // their accuracy target.
+    let unrealized_semantics = if statistical_covered == 0 {
+        semantics_budget
+    } else {
+        0.0
+    };
+
+    let rounding: Vec<f64> = config
+        .attributes
+        .iter()
+        .map(|a| match a.kind {
+            AttrKind::Numeric { scale } => spec.relative_rounding * scale,
+            _ => 0.0,
+        })
+        .collect();
+
+    SourcePlan {
+        covered_objects,
+        covered_attrs,
+        variant_attrs,
+        mismapped_objects,
+        // Roughly half of the stale claims still match today's truth (slow-
+        // moving attributes), so over-provision the stale probability.
+        stale_prob: (stale_budget * 1.6).clamp(0.0, 1.0),
+        unit_prob: unit_budget.clamp(0.0, 1.0),
+        pure_prob: (pure_budget + unrealized_semantics).clamp(0.0, 1.0),
+        rounding,
+    }
+}
+
+/// Claims a source produces for one day: `(item, value, provenance)`.
+type Claims = Vec<(ItemId, Value, ClaimProvenance)>;
+
+fn generate_day(
+    config: &DomainConfig,
+    schema: &Arc<DomainSchema>,
+    world: &TrueWorld,
+    plans: &[SourcePlan],
+    day: u32,
+) -> (Snapshot, DayProvenance) {
+    let mut builder = SnapshotBuilder::new(day);
+    let mut day_prov = DayProvenance::new();
+
+    // Independent sources first; copiers need the originals' claims.
+    let mut independent_claims: BTreeMap<usize, Claims> = BTreeMap::new();
+    for (i, spec) in config.sources.iter().enumerate() {
+        if spec.copies_from.is_some() {
+            continue;
+        }
+        let claims = generate_independent_claims(config, world, &plans[i], spec, i, day);
+        independent_claims.insert(i, claims);
+    }
+
+    for (i, spec) in config.sources.iter().enumerate() {
+        let source = SourceId(i as u32);
+        let claims: Claims = match spec.copies_from {
+            None => independent_claims
+                .get(&i)
+                .cloned()
+                .unwrap_or_default(),
+            Some(orig) => {
+                let original = independent_claims.get(&orig).cloned().unwrap_or_default();
+                copy_claims(config, &plans[i], spec, i, day, &original)
+            }
+        };
+        for (item, value, prov) in claims {
+            builder.add(source, item.object, item.attr, value);
+            day_prov.record(item, source, prov);
+        }
+    }
+
+    (builder.build(Arc::clone(schema)), day_prov)
+}
+
+fn claim_rng(config: &DomainConfig, source_index: usize, effective_day: u32) -> StdRng {
+    StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0xd6e8_feb8_6659_fd93)
+            .wrapping_add((source_index as u64) << 32)
+            .wrapping_add(effective_day as u64 + 1),
+    )
+}
+
+fn generate_independent_claims(
+    config: &DomainConfig,
+    world: &TrueWorld,
+    plan: &SourcePlan,
+    spec: &SourceSpec,
+    source_index: usize,
+    day: u32,
+) -> Claims {
+    // A dead source keeps serving the claims of its last refreshed day.
+    let effective_day = match spec.dead_after_day {
+        Some(dead) if day > dead => dead,
+        _ => day,
+    };
+    let mut rng = claim_rng(config, source_index, effective_day);
+    let mut claims = Vec::new();
+
+    for (o, covered) in plan.covered_objects.iter().enumerate() {
+        if !covered {
+            continue;
+        }
+        let object = ObjectId(o as u32);
+        for (a, covered_attr) in plan.covered_attrs.iter().enumerate() {
+            if !covered_attr {
+                continue;
+            }
+            let attr = AttrId(a as u16);
+            let item = ItemId::new(object, attr);
+            let truth_today = world.truth(day, object, attr);
+            let truth_effective = world.truth(effective_day, object, attr);
+
+            let (raw_value, mut reason) =
+                produce_value(config, world, plan, spec, &mut rng, effective_day, item);
+
+            // For dead sources the produced value reflects the stale day; the
+            // outcome must be judged against *today's* truth.
+            if effective_day != day && raw_value == truth_effective && raw_value != truth_today {
+                reason = Some(InconsistencyReason::OutOfDate);
+            }
+
+            let outcome = match reason {
+                Some(r) => ClaimOutcome::Error(r),
+                None => ClaimOutcome::Correct,
+            };
+            let value = apply_rounding(raw_value, plan.rounding[a]);
+            claims.push((
+                item,
+                value,
+                ClaimProvenance {
+                    outcome,
+                    copied: false,
+                },
+            ));
+        }
+    }
+    claims
+}
+
+/// Produce the raw (pre-rounding) value of one claim and the reason it is
+/// wrong, if it is.
+fn produce_value(
+    config: &DomainConfig,
+    world: &TrueWorld,
+    plan: &SourcePlan,
+    spec: &SourceSpec,
+    rng: &mut StdRng,
+    day: u32,
+    item: ItemId,
+) -> (Value, Option<InconsistencyReason>) {
+    let truth = world.truth(day, item.object, item.attr);
+
+    if plan.mismapped_objects[item.object.index()] {
+        let confused = world.confused_truth(day, item.object, item.attr);
+        if confused != truth {
+            return (confused, Some(InconsistencyReason::InstanceAmbiguity));
+        }
+        return (truth, None);
+    }
+
+    if plan.variant_attrs[item.attr.index()] {
+        let variant = world.variant(day, item.object, item.attr);
+        if variant != truth {
+            return (variant, Some(InconsistencyReason::SemanticsAmbiguity));
+        }
+        return (truth, None);
+    }
+
+    let u: f64 = rng.gen();
+    let stale_end = plan.stale_prob;
+    let unit_end = stale_end + plan.unit_prob;
+    let pure_end = unit_end + plan.pure_prob;
+
+    if u < stale_end {
+        let stale_day = day.saturating_sub(spec.staleness_days.max(1));
+        let stale = world.truth(stale_day, item.object, item.attr);
+        if stale != truth {
+            return (stale, Some(InconsistencyReason::OutOfDate));
+        }
+        return (truth, None);
+    }
+    if u < unit_end {
+        if let Some(x) = truth.as_f64() {
+            if truth.kind() == datamodel::ValueKind::Number {
+                return (Value::number(x * 1000.0), Some(InconsistencyReason::UnitError));
+            }
+        }
+        // Unit errors are meaningless for non-numeric attributes; fall through
+        // to a pure error instead.
+    }
+    if u < pure_end {
+        let pool_seed = config
+            .seed
+            .wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+            .wrapping_add((day as u64) << 40)
+            .wrapping_add((item.object.0 as u64) << 8)
+            .wrapping_add(item.attr.0 as u64);
+        let pool = AlternativePool::for_item(&truth, pool_seed, 3);
+        let wrong = pool.pick(rng, &truth, 0.2);
+        if wrong != truth {
+            return (wrong, Some(InconsistencyReason::PureError));
+        }
+    }
+    (truth, None)
+}
+
+fn apply_rounding(value: Value, granularity: f64) -> Value {
+    match value {
+        Value::Number { value: x, .. } if granularity > 0.0 => {
+            Value::rounded_number(x, granularity)
+        }
+        other => other,
+    }
+}
+
+fn copy_claims(
+    config: &DomainConfig,
+    plan: &SourcePlan,
+    spec: &SourceSpec,
+    source_index: usize,
+    day: u32,
+    original: &Claims,
+) -> Claims {
+    let mut rng = claim_rng(config, source_index, day);
+    let fidelity = spec.copy_fidelity.clamp(0.0, 1.0);
+    original
+        .iter()
+        .filter(|(item, _, _)| {
+            // The copier exposes only the attributes it covers (copy groups in
+            // Table 5 have schema similarity between 0.8 and 1.0).
+            plan.covered_attrs[item.attr.index()]
+        })
+        .filter_map(|(item, value, prov)| {
+            if rng.gen_bool(fidelity) {
+                Some((
+                    *item,
+                    value.clone(),
+                    ClaimProvenance {
+                        outcome: prov.outcome,
+                        copied: true,
+                    },
+                ))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn build_gold(config: &DomainConfig, snapshot: &Snapshot) -> GoldStandard {
+    let gold_objects: Vec<ObjectId> = (0..config.gold.num_gold_objects.min(config.num_objects))
+        .map(ObjectId)
+        .collect();
+    match config.gold.mode {
+        GoldMode::AuthorityVoting => {
+            let authorities = snapshot.schema().authority_sources();
+            let full = GoldStandard::from_authority_voting(
+                snapshot,
+                &authorities,
+                config.gold.min_providers,
+            );
+            full.iter()
+                .filter(|(item, _)| gold_objects.contains(&item.object))
+                .map(|(item, value)| (*item, value.clone()))
+                .collect()
+        }
+        GoldMode::TrustedSources => {
+            let gold_sources: Vec<SourceId> = config
+                .sources
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.gold_provider)
+                .map(|(i, _)| SourceId(i as u32))
+                .collect();
+            let mut gold = GoldStandard::new();
+            for (item, obs) in snapshot.items() {
+                if !gold_objects.contains(&item.object) {
+                    continue;
+                }
+                if let Some(o) = obs.iter().find(|o| gold_sources.contains(&o.source)) {
+                    gold.insert(*item, o.value.clone());
+                }
+            }
+            gold
+        }
+    }
+}
+
+/// Restrict the true world to the items at least one source provides, so that
+/// recall over the truth is well-defined.
+fn restrict_truth(truth: &GoldStandard, snapshot: &Snapshot) -> GoldStandard {
+    truth
+        .iter()
+        .filter(|(item, _)| !snapshot.observations(**item).is_empty())
+        .map(|(item, value)| (*item, value.clone()))
+        .collect()
+}
+
+/// The Figure-1 distribution: for every global attribute of the domain, the
+/// number of sources providing it. The head of the distribution corresponds
+/// to the considered attributes; the tail follows a Zipf-like decay, matching
+/// the paper's observation that only a small portion of attributes have high
+/// coverage.
+fn global_attribute_providers(config: &DomainConfig) -> Vec<u32> {
+    let num_sources = config.num_sources() as f64;
+    let total = config.total_global_attributes.max(1);
+    let mut providers = Vec::with_capacity(total as usize);
+    for rank in 1..=total {
+        let fraction = (2.2 / (rank as f64).powf(0.85)).min(1.0);
+        let count = (num_sources * fraction).round().max(1.0) as u32;
+        providers.push(count.min(config.num_sources() as u32));
+    }
+    providers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::flight_config;
+    use crate::stock::stock_config;
+
+    fn small_stock() -> GeneratedDomain {
+        generate(&stock_config(11).scaled(0.03, 0.15))
+    }
+
+    fn small_flight() -> GeneratedDomain {
+        generate(&flight_config(11).scaled(0.05, 0.1))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_stock();
+        let b = small_stock();
+        assert_eq!(
+            a.reference_snapshot().num_observations(),
+            b.reference_snapshot().num_observations()
+        );
+        let item = a.reference_snapshot().item_ids().next().unwrap();
+        assert_eq!(
+            a.reference_snapshot().observations(item),
+            b.reference_snapshot().observations(item)
+        );
+    }
+
+    #[test]
+    fn every_claim_has_provenance() {
+        let d = small_stock();
+        let snap = d.reference_snapshot();
+        let prov = d.reference_provenance();
+        assert_eq!(prov.len(), snap.num_observations());
+        for (item, obs) in snap.items() {
+            for o in obs {
+                assert!(prov.get(*item, o.source).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn copiers_mirror_their_original() {
+        let d = small_flight();
+        let snap = d.reference_snapshot();
+        let groups = d.copy_groups.clone();
+        assert!(!groups.is_empty());
+        let group = &groups[0];
+        let original = group[0];
+        let copier = group[1];
+        let copier_items = snap.items_of_source(copier);
+        assert!(!copier_items.is_empty());
+        let mut same = 0usize;
+        for item in &copier_items {
+            if snap.value_of(original, *item) == snap.value_of(copier, *item) {
+                same += 1;
+            }
+        }
+        let agreement = same as f64 / copier_items.len() as f64;
+        assert!(agreement > 0.95, "copier agreement {agreement} too low");
+    }
+
+    #[test]
+    fn gold_standard_only_covers_gold_objects() {
+        let d = small_stock();
+        let max_gold_object = d.config.gold.num_gold_objects;
+        for (item, _) in d.reference_gold().iter() {
+            assert!(item.object.0 < max_gold_object);
+        }
+        assert!(!d.reference_gold().is_empty());
+    }
+
+    #[test]
+    fn flight_gold_comes_from_airlines() {
+        let d = small_flight();
+        assert!(!d.reference_gold().is_empty());
+        // Airline-provided gold values should agree with the truth most of the
+        // time (airlines are configured with very high accuracy).
+        let agreement = d
+            .reference_gold()
+            .agreement_with(d.reference_truth(), d.reference_snapshot())
+            .unwrap();
+        assert!(agreement > 0.9, "gold/truth agreement {agreement} too low");
+    }
+
+    #[test]
+    fn accuracy_targets_are_roughly_met() {
+        let d = small_stock();
+        let snap = d.reference_snapshot();
+        let truth = d.reference_truth();
+        // Average accuracy over all sources should be in the right band
+        // (paper: 0.86 for Stock).
+        let mut accs = Vec::new();
+        for s in snap.active_sources() {
+            let items = snap.items_of_source(s);
+            let mut total = 0;
+            let mut correct = 0;
+            for item in items {
+                if let Some(v) = snap.value_of(s, item) {
+                    if let Some(ok) = truth.judge(snap, item, v) {
+                        total += 1;
+                        if ok {
+                            correct += 1;
+                        }
+                    }
+                }
+            }
+            if total > 20 {
+                accs.push(correct as f64 / total as f64);
+            }
+        }
+        let avg = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!(avg > 0.75 && avg < 0.97, "average source accuracy {avg} out of band");
+    }
+
+    #[test]
+    fn error_reason_mix_has_all_configured_components() {
+        let d = small_stock();
+        let hist = d.reference_provenance().reason_histogram();
+        assert!(hist.get(&InconsistencyReason::SemanticsAmbiguity).copied().unwrap_or(0) > 0);
+        assert!(hist.get(&InconsistencyReason::OutOfDate).copied().unwrap_or(0) > 0);
+        assert!(hist.get(&InconsistencyReason::PureError).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn global_attribute_distribution_is_zipf_like() {
+        let d = small_stock();
+        let providers = &d.global_attribute_providers;
+        assert_eq!(providers.len(), d.config.total_global_attributes as usize);
+        assert!(providers[0] >= providers[providers.len() - 1]);
+        // Head: covered by most sources; tail: covered by few.
+        assert!(providers[0] as usize >= d.config.num_sources() / 2);
+        assert!((providers[providers.len() - 1] as usize) < d.config.num_sources() / 4);
+    }
+
+    #[test]
+    fn multi_day_collection_has_distinct_snapshots() {
+        let cfg = stock_config(3).scaled(0.02, 0.2);
+        let d = generate(&cfg);
+        assert_eq!(d.collection.num_days() as u32, cfg.num_days);
+        assert!(d.collection.num_days() >= 2);
+        let day0 = &d.collection.day(0).snapshot;
+        let day1 = &d.collection.day(1).snapshot;
+        // Real-time values drift day to day, so the snapshots must differ.
+        let mut differs = false;
+        for item in day0.item_ids().take(200) {
+            if day0.observations(item) != day1.observations(item) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs);
+    }
+}

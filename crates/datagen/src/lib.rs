@@ -1,0 +1,30 @@
+//! Synthetic Deep-Web data generators for the Stock and Flight domains.
+//!
+//! The paper's experiments run over two crawled data collections that are not
+//! redistributable in full fidelity (they were scraped from 55 stock and 38
+//! flight websites in 2011). This crate substitutes seeded, deterministic
+//! generators that reproduce the *statistical characteristics* the paper
+//! reports — source counts, coverage and redundancy distributions, per-source
+//! accuracy ranges, the mix of inconsistency reasons (Figure 6), planted copy
+//! groups (Table 5), authoritative sources, and paper-style gold standards —
+//! so that every downstream measurement and fusion experiment exercises the
+//! same code paths it would on the real data.
+//!
+//! The entry points are [`stock::stock_config`] / [`flight::flight_config`]
+//! (paper-scale configurations), [`generate`] (run a configuration), and the
+//! [`GeneratedDomain`] output bundle.
+
+pub mod alternatives;
+pub mod config;
+pub mod flight;
+pub mod generator;
+pub mod provenance;
+pub mod stock;
+pub mod world;
+
+pub use config::{AttrSpec, DomainConfig, ErrorMix, GoldMode, GoldSpec, SourceSpec};
+pub use flight::flight_config;
+pub use generator::{generate, GeneratedDomain};
+pub use provenance::{ClaimOutcome, ClaimProvenance, DayProvenance, InconsistencyReason};
+pub use stock::stock_config;
+pub use world::TrueWorld;

@@ -1,0 +1,213 @@
+//! Claim provenance: why a generated claim is correct or wrong.
+//!
+//! The paper manually inspects samples of inconsistent data items to attribute
+//! them to reasons (Figure 6) and samples of fusion errors (Figure 11). The
+//! generator records the ground-truth reason behind every erroneous claim so
+//! those figures can be reproduced without manual inspection, and so tests
+//! can assert the generated reason mix matches the configured one.
+
+use datamodel::{ItemId, SourceId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The reason a claim deviates from the truth (Figure 6's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InconsistencyReason {
+    /// The source applies a different definition of the attribute.
+    SemanticsAmbiguity,
+    /// The source interprets the object differently (e.g. a terminated stock
+    /// symbol re-mapped to another company).
+    InstanceAmbiguity,
+    /// The value was not refreshed and reflects an earlier day.
+    OutOfDate,
+    /// The value is off by a unit conversion factor (e.g. millions/billions).
+    UnitError,
+    /// No identifiable cause.
+    PureError,
+}
+
+impl InconsistencyReason {
+    /// All reasons, in the order Figure 6 lists them.
+    pub const ALL: [InconsistencyReason; 5] = [
+        InconsistencyReason::SemanticsAmbiguity,
+        InconsistencyReason::InstanceAmbiguity,
+        InconsistencyReason::OutOfDate,
+        InconsistencyReason::UnitError,
+        InconsistencyReason::PureError,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InconsistencyReason::SemanticsAmbiguity => "semantics ambiguity",
+            InconsistencyReason::InstanceAmbiguity => "instance ambiguity",
+            InconsistencyReason::OutOfDate => "out-of-date",
+            InconsistencyReason::UnitError => "unit error",
+            InconsistencyReason::PureError => "pure error",
+        }
+    }
+}
+
+/// Whether a claim matches the truth, and if not, why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClaimOutcome {
+    /// The claim matches the day's truth (within tolerance, pre-formatting).
+    Correct,
+    /// The claim deviates from the truth for the recorded reason.
+    Error(InconsistencyReason),
+}
+
+impl ClaimOutcome {
+    /// Whether the claim is correct.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, ClaimOutcome::Correct)
+    }
+
+    /// The error reason, if any.
+    pub fn reason(&self) -> Option<InconsistencyReason> {
+        match self {
+            ClaimOutcome::Correct => None,
+            ClaimOutcome::Error(r) => Some(*r),
+        }
+    }
+}
+
+/// Provenance of one claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimProvenance {
+    /// Outcome (correct / error with reason).
+    pub outcome: ClaimOutcome,
+    /// Whether the claim was copied from another source rather than produced
+    /// independently.
+    pub copied: bool,
+}
+
+/// Provenance of every claim of one collection day.
+#[derive(Debug, Clone, Default)]
+pub struct DayProvenance {
+    claims: HashMap<(ItemId, SourceId), ClaimProvenance>,
+}
+
+impl DayProvenance {
+    /// Create an empty provenance record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the provenance of one claim.
+    pub fn record(&mut self, item: ItemId, source: SourceId, provenance: ClaimProvenance) {
+        self.claims.insert((item, source), provenance);
+    }
+
+    /// Look up the provenance of one claim.
+    pub fn get(&self, item: ItemId, source: SourceId) -> Option<ClaimProvenance> {
+        self.claims.get(&(item, source)).copied()
+    }
+
+    /// Number of recorded claims.
+    pub fn len(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Whether no claims are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+
+    /// Iterate over all recorded claims.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ItemId, SourceId), &ClaimProvenance)> {
+        self.claims.iter()
+    }
+
+    /// Histogram of error reasons over all erroneous claims.
+    pub fn reason_histogram(&self) -> HashMap<InconsistencyReason, usize> {
+        let mut histogram = HashMap::new();
+        for provenance in self.claims.values() {
+            if let ClaimOutcome::Error(reason) = provenance.outcome {
+                *histogram.entry(reason).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+
+    /// Histogram of error reasons restricted to the claims on one item.
+    pub fn item_reasons(&self, item: ItemId) -> HashMap<InconsistencyReason, usize> {
+        let mut histogram = HashMap::new();
+        for ((claim_item, _), provenance) in &self.claims {
+            if *claim_item == item {
+                if let ClaimOutcome::Error(reason) = provenance.outcome {
+                    *histogram.entry(reason).or_insert(0) += 1;
+                }
+            }
+        }
+        histogram
+    }
+
+    /// Fraction of claims that were copied.
+    pub fn copied_fraction(&self) -> f64 {
+        if self.claims.is_empty() {
+            return 0.0;
+        }
+        let copied = self.claims.values().filter(|p| p.copied).count();
+        copied as f64 / self.claims.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrId, ObjectId};
+
+    fn item(o: u32, a: u16) -> ItemId {
+        ItemId::new(ObjectId(o), AttrId(a))
+    }
+
+    #[test]
+    fn record_and_histogram() {
+        let mut prov = DayProvenance::new();
+        assert!(prov.is_empty());
+        prov.record(
+            item(0, 0),
+            SourceId(0),
+            ClaimProvenance {
+                outcome: ClaimOutcome::Correct,
+                copied: false,
+            },
+        );
+        prov.record(
+            item(0, 0),
+            SourceId(1),
+            ClaimProvenance {
+                outcome: ClaimOutcome::Error(InconsistencyReason::OutOfDate),
+                copied: false,
+            },
+        );
+        prov.record(
+            item(1, 0),
+            SourceId(1),
+            ClaimProvenance {
+                outcome: ClaimOutcome::Error(InconsistencyReason::OutOfDate),
+                copied: true,
+            },
+        );
+        assert_eq!(prov.len(), 3);
+        let hist = prov.reason_histogram();
+        assert_eq!(hist.get(&InconsistencyReason::OutOfDate), Some(&2));
+        assert_eq!(hist.get(&InconsistencyReason::PureError), None);
+        assert_eq!(prov.item_reasons(item(0, 0)).len(), 1);
+        assert!((prov.copied_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(prov.get(item(0, 0), SourceId(1)).unwrap().outcome.reason()
+            == Some(InconsistencyReason::OutOfDate));
+        assert!(prov.get(item(0, 0), SourceId(0)).unwrap().outcome.is_correct());
+        assert!(prov.get(item(9, 9), SourceId(9)).is_none());
+    }
+
+    #[test]
+    fn reason_labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> = InconsistencyReason::ALL
+            .iter()
+            .map(|r| r.label())
+            .collect();
+        assert_eq!(labels.len(), InconsistencyReason::ALL.len());
+    }
+}

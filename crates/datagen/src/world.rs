@@ -1,0 +1,255 @@
+//! The generated "real world": the true value of every data item on every day.
+//!
+//! The world is generated once per configuration and is fully deterministic
+//! given the seed. It also produces the *alternative-semantics* value of every
+//! item (what a source using a different definition of the attribute would
+//! report), which drives the semantics-ambiguity error mode.
+
+use crate::config::{AttrSpec, DomainConfig};
+use datamodel::{AttrId, AttrKind, GoldStandard, ItemId, ObjectId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// True values of all items across all days, plus per-item semantic variants.
+#[derive(Debug, Clone)]
+pub struct TrueWorld {
+    num_objects: u32,
+    num_days: u32,
+    attrs: Vec<AttrSpec>,
+    /// `base[attr][object]`: the day-0 true value parameterization.
+    base: Vec<Vec<BaseValue>>,
+    /// `drift[attr][day]`: multiplicative (numeric) or additive-minute (time)
+    /// day-level drift applied to the base value.
+    drift: Vec<Vec<f64>>,
+    /// Objects subject to instance ambiguity (e.g. terminated stock symbols).
+    ambiguous_objects: Vec<bool>,
+}
+
+/// Day-0 parameterization of one item's truth.
+#[derive(Debug, Clone, Copy)]
+enum BaseValue {
+    Number(f64),
+    Time(i64),
+    Category(u32),
+}
+
+impl TrueWorld {
+    /// Generate the world for `config` (deterministic in `config.seed`).
+    pub fn generate(config: &DomainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57f1d_u64);
+        let num_objects = config.num_objects;
+        let num_days = config.num_days;
+        let mut base = Vec::with_capacity(config.attributes.len());
+        let mut drift = Vec::with_capacity(config.attributes.len());
+        for spec in &config.attributes {
+            let mut per_object = Vec::with_capacity(num_objects as usize);
+            for _ in 0..num_objects {
+                per_object.push(match spec.kind {
+                    AttrKind::Numeric { scale } => {
+                        // Log-uniform spread around the attribute scale keeps
+                        // magnitudes realistic (prices cluster, volumes spread).
+                        let factor: f64 = rng.gen_range(0.2_f64..5.0_f64);
+                        BaseValue::Number(scale * factor)
+                    }
+                    AttrKind::Time => {
+                        // Minutes in a day-like window.
+                        BaseValue::Time(rng.gen_range(300..1380))
+                    }
+                    AttrKind::Categorical { cardinality } => {
+                        BaseValue::Category(rng.gen_range(0..cardinality.max(1)))
+                    }
+                });
+            }
+            let mut per_day = Vec::with_capacity(num_days as usize);
+            let mut level = 0.0_f64;
+            for _ in 0..num_days {
+                level += rng.gen_range(-1.0..1.0) * spec.drift;
+                per_day.push(level);
+            }
+            base.push(per_object);
+            drift.push(per_day);
+        }
+        let ambiguous_objects = (0..num_objects)
+            .map(|_| rng.gen_bool(config.ambiguous_object_fraction.clamp(0.0, 1.0)))
+            .collect();
+        Self {
+            num_objects,
+            num_days,
+            attrs: config.attributes.clone(),
+            base,
+            drift,
+            ambiguous_objects,
+        }
+    }
+
+    /// Number of objects in the world.
+    pub fn num_objects(&self) -> u32 {
+        self.num_objects
+    }
+
+    /// Number of days in the world.
+    pub fn num_days(&self) -> u32 {
+        self.num_days
+    }
+
+    /// The considered attributes.
+    pub fn attributes(&self) -> &[AttrSpec] {
+        &self.attrs
+    }
+
+    /// Whether `object` is subject to instance ambiguity.
+    pub fn is_ambiguous_object(&self, object: ObjectId) -> bool {
+        self.ambiguous_objects
+            .get(object.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The true value of `(object, attr)` on `day`.
+    pub fn truth(&self, day: u32, object: ObjectId, attr: AttrId) -> Value {
+        let day = day.min(self.num_days.saturating_sub(1));
+        let spec = &self.attrs[attr.index()];
+        let drift = self.drift[attr.index()][day as usize];
+        match self.base[attr.index()][object.index()] {
+            BaseValue::Number(v) => Value::number(round_sig(v * (1.0 + drift), 6)),
+            BaseValue::Time(m) => Value::time(m + (drift * 60.0).round() as i64),
+            BaseValue::Category(c) => {
+                // Categories shift occasionally (e.g. gate changes every few days).
+                let shift = if spec.drift > 0.0 {
+                    (day / 7) % 2
+                } else {
+                    0
+                };
+                Value::text(format!("cat-{}", c + shift))
+            }
+        }
+    }
+
+    /// The alternative-semantics value of `(object, attr)` on `day`: what a
+    /// source applying a different definition of the attribute would report
+    /// (e.g. yearly instead of quarterly dividend, takeoff instead of
+    /// gate-departure time, a neighbouring gate for categorical attributes).
+    pub fn variant(&self, day: u32, object: ObjectId, attr: AttrId) -> Value {
+        let spec = &self.attrs[attr.index()];
+        match self.truth(day, object, attr) {
+            Value::Number { value, .. } => Value::number(round_sig(value * spec.variant_factor, 6)),
+            Value::Time(m) => Value::time(m - 17), // takeoff/landing vs gate time
+            Value::Text(s) => Value::text(format!("{s}-alt")),
+        }
+    }
+
+    /// The truth of the "confused" object used for instance ambiguity: the
+    /// next object's value (the paper's example is a terminated symbol being
+    /// re-mapped to a different company).
+    pub fn confused_truth(&self, day: u32, object: ObjectId, attr: AttrId) -> Value {
+        let other = ObjectId((object.0 + 1) % self.num_objects);
+        self.truth(day, other, attr)
+    }
+
+    /// The full true world of one day as a [`GoldStandard`] over all items.
+    pub fn truth_gold(&self, day: u32) -> GoldStandard {
+        let mut gold = GoldStandard::new();
+        for obj in 0..self.num_objects {
+            for (a, _) in self.attrs.iter().enumerate() {
+                let item = ItemId::new(ObjectId(obj), AttrId(a as u16));
+                gold.insert(item, self.truth(day, item.object, item.attr));
+            }
+        }
+        gold
+    }
+}
+
+/// Round to `digits` significant digits so that generated truths have a clean
+/// printable form (sources then add their own jitter / rounding on top).
+fn round_sig(x: f64, digits: i32) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return 0.0;
+    }
+    let magnitude = x.abs().log10().floor() as i32;
+    let factor = 10f64.powi(digits - 1 - magnitude);
+    (x * factor).round() / factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock::stock_config;
+
+    fn small_world() -> TrueWorld {
+        let cfg = stock_config(1).scaled(0.02, 0.2);
+        TrueWorld::generate(&cfg)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = stock_config(42).scaled(0.02, 0.2);
+        let w1 = TrueWorld::generate(&cfg);
+        let w2 = TrueWorld::generate(&cfg);
+        let item = ItemId::new(ObjectId(3), AttrId(2));
+        assert_eq!(w1.truth(0, item.object, item.attr), w2.truth(0, item.object, item.attr));
+        let cfg2 = stock_config(43).scaled(0.02, 0.2);
+        let w3 = TrueWorld::generate(&cfg2);
+        // Different seeds should (overwhelmingly) differ somewhere.
+        let mut any_diff = false;
+        for o in 0..w1.num_objects() {
+            for a in 0..w1.attributes().len() {
+                if w1.truth(0, ObjectId(o), AttrId(a as u16))
+                    != w3.truth(0, ObjectId(o), AttrId(a as u16))
+                {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn variant_differs_from_truth() {
+        let w = small_world();
+        let mut diffs = 0;
+        for a in 0..w.attributes().len() {
+            let t = w.truth(0, ObjectId(0), AttrId(a as u16));
+            let v = w.variant(0, ObjectId(0), AttrId(a as u16));
+            if t != v {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 0, "variants must differ for at least some attributes");
+    }
+
+    #[test]
+    fn truth_gold_covers_all_items() {
+        let w = small_world();
+        let gold = w.truth_gold(0);
+        assert_eq!(
+            gold.len(),
+            (w.num_objects() as usize) * w.attributes().len()
+        );
+    }
+
+    #[test]
+    fn confused_truth_wraps_around() {
+        let w = small_world();
+        let last = ObjectId(w.num_objects() - 1);
+        // Should not panic and should return the first object's truth.
+        let confused = w.confused_truth(0, last, AttrId(0));
+        assert_eq!(confused, w.truth(0, ObjectId(0), AttrId(0)));
+    }
+
+    #[test]
+    fn round_sig_behaviour() {
+        assert_eq!(round_sig(123456.789, 6), 123457.0);
+        assert_eq!(round_sig(0.0012345678, 6), 0.00123457);
+        assert_eq!(round_sig(0.0, 6), 0.0);
+    }
+
+    #[test]
+    fn day_clamping() {
+        let w = small_world();
+        let last_day = w.num_days() - 1;
+        assert_eq!(
+            w.truth(last_day + 10, ObjectId(0), AttrId(0)),
+            w.truth(last_day, ObjectId(0), AttrId(0))
+        );
+    }
+}

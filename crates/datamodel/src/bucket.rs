@@ -1,0 +1,347 @@
+//! Bucketing of conflicting values on one data item.
+//!
+//! Section 3.2 of the paper: when measuring value distributions, values whose
+//! difference falls within the attribute tolerance τ(A) are grouped together.
+//! Starting from the dominant value v0, the buckets are
+//! `(v0 - 3τ/2, v0 - τ/2], (v0 - τ/2, v0 + τ/2], (v0 + τ/2, v0 + 3τ/2], ...`
+//! — i.e. each value lands in the bucket whose center `v0 + k·τ` it is
+//! closest to.
+//!
+//! Every measurement (number of values, entropy, dominance factor) and every
+//! fusion method operates on these buckets rather than on raw values.
+
+use crate::ids::{AttrId, SourceId};
+use crate::tolerance::ToleranceContext;
+use crate::value::{Value, ValueKind};
+use std::collections::HashMap;
+
+/// A group of tolerance-equivalent values on one data item, together with the
+/// sources providing them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueBucket {
+    /// Representative value of the bucket (the most frequently provided exact
+    /// value inside the bucket).
+    pub representative: Value,
+    /// Sources providing a value in this bucket, in ascending id order.
+    pub providers: Vec<SourceId>,
+}
+
+impl ValueBucket {
+    /// Number of sources providing this bucket's value.
+    #[inline]
+    pub fn support(&self) -> usize {
+        self.providers.len()
+    }
+}
+
+/// Bucketing configuration for one attribute: the absolute tolerance and the
+/// similarity scale derived from a [`ToleranceContext`].
+#[derive(Debug, Clone, Copy)]
+pub struct Bucketing {
+    /// Absolute tolerance τ(A).
+    pub tolerance: f64,
+    /// Scale used to normalize distances for similarity computations.
+    pub similarity_scale: f64,
+}
+
+impl Bucketing {
+    /// Bucketing parameters for `attr` under `ctx`.
+    pub fn for_attr(ctx: &ToleranceContext, attr: AttrId) -> Self {
+        Self {
+            tolerance: ctx.tolerance(attr),
+            similarity_scale: ctx.similarity_scale(attr),
+        }
+    }
+
+    /// Group the `(source, value)` observations of one data item into buckets,
+    /// sorted by descending support (ties broken by representative ordering so
+    /// the result is deterministic). The first bucket is therefore the
+    /// *dominant value* of the item.
+    pub fn bucket(&self, observations: &[(SourceId, Value)]) -> Vec<ValueBucket> {
+        if observations.is_empty() {
+            return Vec::new();
+        }
+        let kind = observations[0].1.kind();
+        let mut buckets = match kind {
+            ValueKind::Text => self.bucket_text(observations),
+            ValueKind::Number | ValueKind::Time => self.bucket_numeric(observations),
+        };
+        for b in &mut buckets {
+            b.providers.sort_unstable();
+        }
+        buckets.sort_by(|a, b| {
+            b.support()
+                .cmp(&a.support())
+                .then_with(|| compare_values(&a.representative, &b.representative))
+        });
+        buckets
+    }
+
+    fn bucket_text(&self, observations: &[(SourceId, Value)]) -> Vec<ValueBucket> {
+        let mut groups: HashMap<String, Vec<SourceId>> = HashMap::new();
+        let mut repr: HashMap<String, Value> = HashMap::new();
+        for (src, v) in observations {
+            let key = match v {
+                Value::Text(s) => s.clone(),
+                other => other.to_string(),
+            };
+            groups.entry(key.clone()).or_default().push(*src);
+            repr.entry(key).or_insert_with(|| v.clone());
+        }
+        groups
+            .into_iter()
+            .map(|(key, providers)| ValueBucket {
+                representative: repr.remove(&key).expect("representative recorded"),
+                providers,
+            })
+            .collect()
+    }
+
+    fn bucket_numeric(&self, observations: &[(SourceId, Value)]) -> Vec<ValueBucket> {
+        // Count exact duplicates to find the anchor (dominant raw value).
+        let numeric: Vec<(SourceId, f64, &Value)> = observations
+            .iter()
+            .filter_map(|(s, v)| v.as_f64().map(|x| (*s, x, v)))
+            .collect();
+        if numeric.is_empty() {
+            return Vec::new();
+        }
+        let anchor = dominant_raw_value(&numeric);
+
+        if self.tolerance <= 0.0 {
+            // Exact grouping on the raw numeric value.
+            let mut groups: Vec<(f64, ValueBucket)> = Vec::new();
+            for (src, x, v) in &numeric {
+                match groups.iter_mut().find(|(gx, _)| gx == x) {
+                    Some((_, b)) => b.providers.push(*src),
+                    None => groups.push((
+                        *x,
+                        ValueBucket {
+                            representative: (*v).clone(),
+                            providers: vec![*src],
+                        },
+                    )),
+                }
+            }
+            return groups.into_iter().map(|(_, b)| b).collect();
+        }
+
+        // Bucket index k = round((v - anchor) / τ): the bucket of center anchor + kτ.
+        let mut groups: HashMap<i64, Vec<(SourceId, f64, &Value)>> = HashMap::new();
+        for entry in &numeric {
+            let k = ((entry.1 - anchor) / self.tolerance).round() as i64;
+            groups.entry(k).or_default().push(*entry);
+        }
+        groups
+            .into_values()
+            .map(|members| {
+                let representative = bucket_representative(&members);
+                ValueBucket {
+                    representative,
+                    providers: members.into_iter().map(|(s, _, _)| s).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// The raw value provided by the most sources, used as the anchor v0 of the
+/// bucket grid. Ties are broken by proximity to the median of all raw values
+/// (then by the smaller value) so that the grid is centered where most of the
+/// mass is and the result stays deterministic.
+fn dominant_raw_value(numeric: &[(SourceId, f64, &Value)]) -> f64 {
+    let raw: Vec<f64> = numeric.iter().map(|(_, x, _)| *x).collect();
+    let med = crate::stats::median(&raw);
+    let mut counts: Vec<(f64, usize)> = Vec::new();
+    for (_, x, _) in numeric {
+        match counts.iter_mut().find(|(v, _)| v == x) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((*x, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|(va, ca), (vb, cb)| {
+            let da = (va - med).abs();
+            let db = (vb - med).abs();
+            ca.cmp(cb)
+                .then_with(|| db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| vb.partial_cmp(va).unwrap_or(std::cmp::Ordering::Equal))
+        })
+        .map(|(v, _)| v)
+        .unwrap_or(0.0)
+}
+
+/// The most frequent exact value inside a bucket, cloned as the bucket
+/// representative. Ties are broken by proximity to the bucket's median value
+/// (then by the smaller value).
+fn bucket_representative(members: &[(SourceId, f64, &Value)]) -> Value {
+    let raw: Vec<f64> = members.iter().map(|(_, x, _)| *x).collect();
+    let med = crate::stats::median(&raw);
+    let mut counts: Vec<(f64, usize, &Value)> = Vec::new();
+    for (_, x, v) in members {
+        match counts.iter_mut().find(|(cx, _, _)| cx == x) {
+            Some((_, c, _)) => *c += 1,
+            None => counts.push((*x, 1, v)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|(va, ca, _), (vb, cb, _)| {
+            let da = (va - med).abs();
+            let db = (vb - med).abs();
+            ca.cmp(cb)
+                .then_with(|| db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| vb.partial_cmp(va).unwrap_or(std::cmp::Ordering::Equal))
+        })
+        .map(|(_, _, v)| v.clone())
+        .expect("bucket is non-empty")
+}
+
+fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+        _ => a.to_string().cmp(&b.to_string()),
+    }
+}
+
+/// Convenience wrapper: bucket the observations of one data item of attribute
+/// `attr` under tolerance context `ctx`.
+pub fn bucket_values(
+    observations: &[(SourceId, Value)],
+    attr: AttrId,
+    ctx: &ToleranceContext,
+) -> Vec<ValueBucket> {
+    Bucketing::for_attr(ctx, attr).bucket(observations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tolerance::TolerancePolicy;
+
+    fn obs(values: &[f64]) -> Vec<(SourceId, Value)> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (SourceId(i as u32), Value::number(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn close_values_share_a_bucket() {
+        let b = Bucketing {
+            tolerance: 1.0,
+            similarity_scale: 100.0,
+        };
+        let buckets = b.bucket(&obs(&[100.0, 100.4, 99.8, 105.0]));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].support(), 3);
+        assert_eq!(buckets[1].support(), 1);
+        assert_eq!(buckets[0].representative, Value::number(100.0));
+    }
+
+    #[test]
+    fn zero_tolerance_gives_exact_groups() {
+        let b = Bucketing {
+            tolerance: 0.0,
+            similarity_scale: 1.0,
+        };
+        let buckets = b.bucket(&obs(&[1.0, 1.0, 1.000001, 2.0]));
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].support(), 2);
+    }
+
+    #[test]
+    fn text_values_group_by_normalized_string() {
+        let b = Bucketing {
+            tolerance: 0.0,
+            similarity_scale: 1.0,
+        };
+        let observations = vec![
+            (SourceId(0), Value::text("B12")),
+            (SourceId(1), Value::text("b12")),
+            (SourceId(2), Value::text("C3")),
+        ];
+        let buckets = b.bucket(&observations);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].support(), 2);
+        assert_eq!(buckets[0].representative, Value::text("b12"));
+    }
+
+    #[test]
+    fn dominant_bucket_comes_first_with_deterministic_ties() {
+        let b = Bucketing {
+            tolerance: 0.5,
+            similarity_scale: 1.0,
+        };
+        // Two buckets of support 2: ordering must be deterministic (smaller repr first).
+        let buckets = b.bucket(&obs(&[10.0, 10.0, 20.0, 20.0]));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].support(), 2);
+        assert_eq!(buckets[0].representative, Value::number(10.0));
+    }
+
+    #[test]
+    fn empty_input_gives_no_buckets() {
+        let b = Bucketing {
+            tolerance: 1.0,
+            similarity_scale: 1.0,
+        };
+        assert!(b.bucket(&[]).is_empty());
+    }
+
+    #[test]
+    fn time_values_bucket_with_minute_tolerance() {
+        let b = Bucketing {
+            tolerance: 10.0,
+            similarity_scale: 10.0,
+        };
+        let observations = vec![
+            (SourceId(0), Value::time(600)),
+            (SourceId(1), Value::time(604)),
+            (SourceId(2), Value::time(630)),
+        ];
+        let buckets = b.bucket(&observations);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].support(), 2);
+    }
+
+    #[test]
+    fn convenience_function_uses_context() {
+        use crate::schema::{AttrKind, DomainSchema};
+        let mut schema = DomainSchema::new("stock");
+        let a = schema.add_attribute("Last price", AttrKind::Numeric { scale: 100.0 }, false);
+        let ctx = ToleranceContext::from_values(
+            &schema,
+            &[vec![Value::number(100.0), Value::number(101.0)]],
+            TolerancePolicy::default(),
+        );
+        let buckets = bucket_values(
+            &[
+                (SourceId(0), Value::number(100.0)),
+                (SourceId(1), Value::number(100.5)),
+            ],
+            a,
+            &ctx,
+        );
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].support(), 2);
+    }
+
+    #[test]
+    fn every_provider_appears_in_exactly_one_bucket() {
+        let b = Bucketing {
+            tolerance: 2.0,
+            similarity_scale: 1.0,
+        };
+        let observations = obs(&[1.0, 2.0, 3.0, 7.0, 8.0, 20.0]);
+        let buckets = b.bucket(&observations);
+        let mut seen: Vec<SourceId> = buckets.iter().flat_map(|b| b.providers.clone()).collect();
+        seen.sort_unstable();
+        let mut expected: Vec<SourceId> = observations.iter().map(|(s, _)| *s).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+}

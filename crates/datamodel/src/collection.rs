@@ -1,0 +1,141 @@
+//! Multi-day data collections.
+//!
+//! The paper collects one snapshot per day over a month (every weekday of
+//! July 2011 for Stock, every day of December 2011 for Flight) and reports
+//! both per-snapshot measurements and their evolution over time. A
+//! [`Collection`] bundles the per-day snapshots together with a paper-style
+//! gold standard and, when produced by a generator, the actual true world.
+
+use crate::gold::GoldStandard;
+use crate::schema::DomainSchema;
+use crate::snapshot::Snapshot;
+use std::sync::Arc;
+
+/// Data for one collection day.
+#[derive(Debug, Clone)]
+pub struct CollectionDay {
+    /// The observation table.
+    pub snapshot: Snapshot,
+    /// The paper-style gold standard (voting over authority sources or
+    /// trusting designated sources).
+    pub gold: GoldStandard,
+    /// The generator's true world, when known. Empty for real crawled data.
+    pub truth: GoldStandard,
+}
+
+/// A multi-day data collection for one domain.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    schema: Arc<DomainSchema>,
+    days: Vec<CollectionDay>,
+}
+
+impl Collection {
+    /// Create a collection over `schema` with no days yet.
+    pub fn new(schema: Arc<DomainSchema>) -> Self {
+        Self {
+            schema,
+            days: Vec::new(),
+        }
+    }
+
+    /// Append one day of data.
+    pub fn push_day(&mut self, snapshot: Snapshot, gold: GoldStandard, truth: GoldStandard) {
+        self.days.push(CollectionDay {
+            snapshot,
+            gold,
+            truth,
+        });
+    }
+
+    /// The domain schema.
+    pub fn schema(&self) -> &DomainSchema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<DomainSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of collection days.
+    pub fn num_days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Whether the collection has no days.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Data for day `i` (panics when out of range).
+    pub fn day(&self, i: usize) -> &CollectionDay {
+        &self.days[i]
+    }
+
+    /// Iterate over all days in order.
+    pub fn days(&self) -> impl Iterator<Item = &CollectionDay> {
+        self.days.iter()
+    }
+
+    /// Index of the day the paper-style detailed analyses use. The paper
+    /// picks a mid-period day (7/7/2011 for Stock, 12/8/2011 for Flight), so
+    /// the middle day of the collection is used; this also guarantees that
+    /// out-of-date data can exist (day 0 has no earlier day to be stale
+    /// relative to).
+    pub fn reference_day_index(&self) -> usize {
+        self.days.len() / 2
+    }
+
+    /// The day the paper-style detailed analyses use (see
+    /// [`Collection::reference_day_index`]).
+    pub fn reference_day(&self) -> &CollectionDay {
+        self.day(self.reference_day_index())
+    }
+
+    /// Total number of observations across all days.
+    pub fn total_observations(&self) -> usize {
+        self.days.iter().map(|d| d.snapshot.num_observations()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AttrId, ObjectId, SourceId};
+    use crate::schema::AttrKind;
+    use crate::snapshot::SnapshotBuilder;
+    use crate::value::Value;
+
+    fn schema() -> Arc<DomainSchema> {
+        let mut s = DomainSchema::new("stock");
+        s.add_attribute("Last price", AttrKind::Numeric { scale: 100.0 }, false);
+        s.add_source("A", true);
+        Arc::new(s)
+    }
+
+    #[test]
+    fn push_and_iterate_days() {
+        let schema = schema();
+        let mut collection = Collection::new(Arc::clone(&schema));
+        assert!(collection.is_empty());
+        for day in 0..3 {
+            let mut b = SnapshotBuilder::new(day);
+            b.add(
+                SourceId(0),
+                ObjectId(0),
+                AttrId(0),
+                Value::number(100.0 + day as f64),
+            );
+            let snap = b.build(Arc::clone(&schema));
+            collection.push_day(snap, GoldStandard::new(), GoldStandard::new());
+        }
+        assert_eq!(collection.num_days(), 3);
+        assert_eq!(collection.total_observations(), 3);
+        assert_eq!(collection.reference_day_index(), 1);
+        assert_eq!(collection.reference_day().snapshot.day(), 1);
+        let days: Vec<u32> = collection.days().map(|d| d.snapshot.day()).collect();
+        assert_eq!(days, vec![0, 1, 2]);
+        assert_eq!(collection.schema().domain, "stock");
+    }
+}

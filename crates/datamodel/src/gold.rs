@@ -1,0 +1,254 @@
+//! Gold standards: the reference truth used to evaluate fusion output.
+//!
+//! The paper builds gold standards in two ways:
+//! * **Stock**: voting over five authoritative sources (NASDAQ, Yahoo!
+//!   Finance, Google Finance, MSN Money, Bloomberg), only on items provided
+//!   by at least three of them;
+//! * **Flight**: trusting the data provided by the three airline websites on
+//!   100 randomly selected flights.
+//!
+//! [`GoldStandard::from_authority_voting`] reproduces the first procedure;
+//! generators can also emit the *true world* directly as a gold standard,
+//! which lets experiments quantify how imperfect the paper-style gold
+//! standard is (a point Section 5 of the paper raises).
+
+use crate::bucket::Bucketing;
+use crate::ids::{ItemId, SourceId};
+use crate::snapshot::Snapshot;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A mapping from data items to their reference (true) values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GoldStandard {
+    values: BTreeMap<ItemId, Value>,
+}
+
+impl GoldStandard {
+    /// An empty gold standard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build directly from an item → value mapping.
+    pub fn from_values(values: BTreeMap<ItemId, Value>) -> Self {
+        Self { values }
+    }
+
+    /// Build a gold standard the way the paper does for Stock: take the
+    /// authority sources' values on each item, keep items provided by at
+    /// least `min_providers` of them, and record the majority (dominant
+    /// bucket) value.
+    pub fn from_authority_voting(
+        snapshot: &Snapshot,
+        authorities: &[SourceId],
+        min_providers: usize,
+    ) -> Self {
+        let mut values = BTreeMap::new();
+        for (item, obs) in snapshot.items() {
+            let authority_obs: Vec<(SourceId, Value)> = obs
+                .iter()
+                .filter(|o| authorities.contains(&o.source))
+                .map(|o| (o.source, o.value.clone()))
+                .collect();
+            if authority_obs.len() < min_providers {
+                continue;
+            }
+            let buckets =
+                Bucketing::for_attr(snapshot.tolerance(), item.attr).bucket(&authority_obs);
+            if let Some(top) = buckets.first() {
+                values.insert(*item, top.representative.clone());
+            }
+        }
+        Self { values }
+    }
+
+    /// Record (or overwrite) the reference value of one item.
+    pub fn insert(&mut self, item: ItemId, value: Value) {
+        self.values.insert(item, value);
+    }
+
+    /// Reference value for `item`, if the gold standard covers it.
+    pub fn get(&self, item: ItemId) -> Option<&Value> {
+        self.values.get(&item)
+    }
+
+    /// Whether the gold standard covers `item`.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.values.contains_key(&item)
+    }
+
+    /// Number of items covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the gold standard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(item, value)` pairs in item order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ItemId, &Value)> {
+        self.values.iter()
+    }
+
+    /// Items covered by the gold standard, in order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.values.keys().copied()
+    }
+
+    /// Whether `candidate` is consistent with the gold standard on `item`,
+    /// under the snapshot's per-attribute tolerance. Returns `None` when the
+    /// gold standard does not cover the item (such items are excluded from
+    /// precision computations, as in the paper).
+    pub fn judge(
+        &self,
+        snapshot: &Snapshot,
+        item: ItemId,
+        candidate: &Value,
+    ) -> Option<bool> {
+        self.get(item).map(|truth| {
+            let tol = snapshot.tolerance().tolerance(item.attr);
+            truth.matches(candidate, tol) || candidate.subsumes(truth)
+        })
+    }
+
+    /// Restrict to the items also present in `other` (useful to compare
+    /// paper-style gold standards against the generator's true world).
+    pub fn intersect_items(&self, other: &GoldStandard) -> GoldStandard {
+        GoldStandard {
+            values: self
+                .values
+                .iter()
+                .filter(|(item, _)| other.contains(**item))
+                .map(|(item, v)| (*item, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Fraction of items of `self` whose value agrees with `other` under
+    /// `snapshot`'s tolerance (items missing from `other` are skipped).
+    /// Returns `None` when there is no overlap.
+    pub fn agreement_with(&self, other: &GoldStandard, snapshot: &Snapshot) -> Option<f64> {
+        let mut total = 0usize;
+        let mut agree = 0usize;
+        for (item, value) in self.iter() {
+            if let Some(matches) = other.judge(snapshot, *item, value) {
+                total += 1;
+                if matches {
+                    agree += 1;
+                }
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(agree as f64 / total as f64)
+        }
+    }
+}
+
+impl FromIterator<(ItemId, Value)> for GoldStandard {
+    fn from_iter<T: IntoIterator<Item = (ItemId, Value)>>(iter: T) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AttrId, ObjectId};
+    use crate::schema::{AttrKind, DomainSchema};
+    use crate::snapshot::SnapshotBuilder;
+    use std::sync::Arc;
+
+    fn snapshot() -> Snapshot {
+        let mut s = DomainSchema::new("stock");
+        s.add_attribute("Last price", AttrKind::Numeric { scale: 100.0 }, false);
+        s.add_source("auth0", true);
+        s.add_source("auth1", true);
+        s.add_source("auth2", true);
+        s.add_source("other", false);
+        let schema = Arc::new(s);
+        let mut b = SnapshotBuilder::new(0);
+        let item_obj = ObjectId(0);
+        b.add(SourceId(0), item_obj, AttrId(0), Value::number(100.0));
+        b.add(SourceId(1), item_obj, AttrId(0), Value::number(100.1));
+        b.add(SourceId(2), item_obj, AttrId(0), Value::number(107.0));
+        b.add(SourceId(3), item_obj, AttrId(0), Value::number(55.0));
+        // Second object covered by only two authorities.
+        b.add(SourceId(0), ObjectId(1), AttrId(0), Value::number(50.0));
+        b.add(SourceId(1), ObjectId(1), AttrId(0), Value::number(50.0));
+        b.build(schema)
+    }
+
+    #[test]
+    fn authority_voting_takes_majority_bucket() {
+        let snap = snapshot();
+        let gold = GoldStandard::from_authority_voting(
+            &snap,
+            &[SourceId(0), SourceId(1), SourceId(2)],
+            3,
+        );
+        assert_eq!(gold.len(), 1);
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        assert_eq!(gold.get(item), Some(&Value::number(100.0)));
+        // The second object has only two authority providers, below threshold.
+        assert!(!gold.contains(ItemId::new(ObjectId(1), AttrId(0))));
+    }
+
+    #[test]
+    fn judge_respects_tolerance_and_coverage() {
+        let snap = snapshot();
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        let mut gold = GoldStandard::new();
+        gold.insert(item, Value::number(100.0));
+        assert_eq!(gold.judge(&snap, item, &Value::number(100.5)), Some(true));
+        assert_eq!(gold.judge(&snap, item, &Value::number(103.0)), Some(false));
+        assert_eq!(
+            gold.judge(&snap, ItemId::new(ObjectId(9), AttrId(0)), &Value::number(1.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn judge_accepts_coarser_formatting() {
+        let snap = snapshot();
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        let mut gold = GoldStandard::new();
+        gold.insert(item, Value::number(103.4));
+        // A candidate rounded to tens subsumes the truth even though the
+        // absolute difference exceeds the tolerance.
+        let coarse = Value::rounded_number(100.0, 10.0);
+        assert_eq!(gold.judge(&snap, item, &coarse), Some(true));
+    }
+
+    #[test]
+    fn agreement_and_intersection() {
+        let snap = snapshot();
+        let item0 = ItemId::new(ObjectId(0), AttrId(0));
+        let item1 = ItemId::new(ObjectId(1), AttrId(0));
+        let truth: GoldStandard = [(item0, Value::number(100.0)), (item1, Value::number(50.0))]
+            .into_iter()
+            .collect();
+        let paper_gold: GoldStandard = [(item0, Value::number(107.0))].into_iter().collect();
+        assert_eq!(paper_gold.agreement_with(&truth, &snap), Some(0.0));
+        let restricted = truth.intersect_items(&paper_gold);
+        assert_eq!(restricted.len(), 1);
+        assert!(restricted.contains(item0));
+        assert_eq!(truth.agreement_with(&GoldStandard::new(), &snap), None);
+    }
+
+    #[test]
+    fn basic_container_behaviour() {
+        let mut gold = GoldStandard::new();
+        assert!(gold.is_empty());
+        gold.insert(ItemId::new(ObjectId(0), AttrId(0)), Value::text("x"));
+        assert_eq!(gold.len(), 1);
+        assert_eq!(gold.items().count(), 1);
+        assert_eq!(gold.iter().count(), 1);
+    }
+}

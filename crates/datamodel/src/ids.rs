@@ -1,0 +1,135 @@
+//! Strongly-typed identifiers for sources, objects, attributes, and data items.
+//!
+//! All identifiers are small integer newtypes so they can be used as dense
+//! indices into `Vec`-backed tables without hashing overhead, while remaining
+//! impossible to mix up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data source (a Deep-Web site in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+/// Identifier of a real-world object (a stock symbol on a day, a flight on a day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+/// Identifier of a *global* attribute (after manual schema matching in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+/// A data item: a particular attribute of a particular object.
+///
+/// The paper assumes each data item is associated with a single true value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId {
+    /// The object this item belongs to.
+    pub object: ObjectId,
+    /// The attribute this item describes.
+    pub attr: AttrId,
+}
+
+impl SourceId {
+    /// Index form for dense `Vec` lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ObjectId {
+    /// Index form for dense `Vec` lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// Index form for dense `Vec` lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(object: ObjectId, attr: AttrId) -> Self {
+        Self { object, attr }
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.object, self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = SourceId(1);
+        let b = SourceId(2);
+        assert!(a < b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        set.insert(SourceId(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn item_id_composition() {
+        let item = ItemId::new(ObjectId(7), AttrId(3));
+        assert_eq!(item.object, ObjectId(7));
+        assert_eq!(item.attr, AttrId(3));
+        assert_eq!(item.to_string(), "O7:A3");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(SourceId(42).index(), 42);
+        assert_eq!(ObjectId(7).index(), 7);
+        assert_eq!(AttrId(3).index(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SourceId(5).to_string(), "S5");
+        assert_eq!(ObjectId(5).to_string(), "O5");
+        assert_eq!(AttrId(5).to_string(), "A5");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let item = ItemId::new(ObjectId(1), AttrId(2));
+        let json = serde_json::to_string(&item).unwrap();
+        let back: ItemId = serde_json::from_str(&json).unwrap();
+        assert_eq!(item, back);
+    }
+}

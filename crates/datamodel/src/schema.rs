@@ -1,0 +1,241 @@
+//! Domain schemas and source metadata.
+//!
+//! A [`DomainSchema`] lists the *global* attributes (the paper's terminology
+//! for attributes after manual schema matching) of one domain together with
+//! their kinds; [`SourceInfo`] records per-source metadata that the
+//! experiments need (human-readable name, whether the source is an
+//! "authoritative" source used for gold-standard voting, and — for generated
+//! data — which source it copies from, if any).
+
+use crate::ids::{AttrId, SourceId};
+use crate::value::ValueKind;
+use serde::{Deserialize, Serialize};
+
+/// The kind of an attribute, refining [`ValueKind`] with the information the
+/// tolerance policy and the generators need.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Numeric attribute (prices, volumes, percentages). `scale` is a typical
+    /// magnitude used by generators; tolerance is derived from observed data.
+    Numeric {
+        /// Typical magnitude of values of this attribute (e.g. 1e2 for a
+        /// price, 1e6 for a trading volume).
+        scale: f64,
+    },
+    /// Time attribute, measured in minutes.
+    Time,
+    /// Categorical / text attribute (e.g. a gate identifier).
+    Categorical {
+        /// Number of distinct categories a generator should draw from.
+        cardinality: u32,
+    },
+}
+
+impl AttrKind {
+    /// The [`ValueKind`] values of this attribute have.
+    pub fn value_kind(&self) -> ValueKind {
+        match self {
+            AttrKind::Numeric { .. } => ValueKind::Number,
+            AttrKind::Time => ValueKind::Time,
+            AttrKind::Categorical { .. } => ValueKind::Text,
+        }
+    }
+}
+
+/// Definition of one global attribute of a domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Identifier of the attribute.
+    pub id: AttrId,
+    /// Human-readable name (e.g. "Last price", "Actual departure time").
+    pub name: String,
+    /// Kind of the attribute.
+    pub kind: AttrKind,
+    /// Whether the attribute is *statistical* (computed over a period, like
+    /// EPS or Dividend) rather than *real-time*. The paper observes that
+    /// statistical attributes suffer more semantics ambiguity.
+    pub statistical: bool,
+}
+
+/// Metadata about one source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceInfo {
+    /// Identifier of the source.
+    pub id: SourceId,
+    /// Human-readable name (e.g. "Google Finance", "Orbitz").
+    pub name: String,
+    /// Whether the source is treated as authoritative; authoritative sources
+    /// participate in gold-standard voting (paper, Section 2.2).
+    pub authority: bool,
+    /// For generated data: the source this one copies from, when it is a
+    /// planted copier. `None` for independent sources. Real crawled data
+    /// would carry `None` everywhere and rely on copy *detection*.
+    pub copies_from: Option<SourceId>,
+}
+
+/// Schema of one domain: the list of global attributes and source metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainSchema {
+    /// Name of the domain ("stock", "flight", ...).
+    pub domain: String,
+    /// Global attribute definitions, indexed by `AttrId::index()`.
+    pub attributes: Vec<AttributeDef>,
+    /// Source metadata, indexed by `SourceId::index()`.
+    pub sources: Vec<SourceInfo>,
+}
+
+impl DomainSchema {
+    /// Create an empty schema for `domain`.
+    pub fn new(domain: impl Into<String>) -> Self {
+        Self {
+            domain: domain.into(),
+            attributes: Vec::new(),
+            sources: Vec::new(),
+        }
+    }
+
+    /// Add an attribute and return its id.
+    pub fn add_attribute(
+        &mut self,
+        name: impl Into<String>,
+        kind: AttrKind,
+        statistical: bool,
+    ) -> AttrId {
+        let id = AttrId(self.attributes.len() as u16);
+        self.attributes.push(AttributeDef {
+            id,
+            name: name.into(),
+            kind,
+            statistical,
+        });
+        id
+    }
+
+    /// Add a source and return its id.
+    pub fn add_source(&mut self, name: impl Into<String>, authority: bool) -> SourceId {
+        let id = SourceId(self.sources.len() as u32);
+        self.sources.push(SourceInfo {
+            id,
+            name: name.into(),
+            authority,
+            copies_from: None,
+        });
+        id
+    }
+
+    /// Mark `copier` as copying from `original` (generator provenance).
+    pub fn set_copy_of(&mut self, copier: SourceId, original: SourceId) {
+        self.sources[copier.index()].copies_from = Some(original);
+    }
+
+    /// Attribute definition lookup.
+    pub fn attribute(&self, id: AttrId) -> &AttributeDef {
+        &self.attributes[id.index()]
+    }
+
+    /// Source metadata lookup.
+    pub fn source(&self, id: SourceId) -> &SourceInfo {
+        &self.sources[id.index()]
+    }
+
+    /// Number of global attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Ids of all authoritative sources.
+    pub fn authority_sources(&self) -> Vec<SourceId> {
+        self.sources
+            .iter()
+            .filter(|s| s.authority)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Ids of all sources.
+    pub fn all_sources(&self) -> Vec<SourceId> {
+        self.sources.iter().map(|s| s.id).collect()
+    }
+
+    /// Groups of sources related by the generator-planted copy relation: each
+    /// group contains the original source followed by its copiers. Groups of
+    /// size 1 (no copiers) are omitted.
+    pub fn copy_groups(&self) -> Vec<Vec<SourceId>> {
+        let mut groups: Vec<Vec<SourceId>> = Vec::new();
+        for original in &self.sources {
+            if original.copies_from.is_some() {
+                continue;
+            }
+            let mut group = vec![original.id];
+            group.extend(
+                self.sources
+                    .iter()
+                    .filter(|s| s.copies_from == Some(original.id))
+                    .map(|s| s.id),
+            );
+            if group.len() > 1 {
+                groups.push(group);
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> DomainSchema {
+        let mut schema = DomainSchema::new("stock");
+        schema.add_attribute("Last price", AttrKind::Numeric { scale: 100.0 }, false);
+        schema.add_attribute("Volume", AttrKind::Numeric { scale: 1e6 }, false);
+        schema.add_attribute("EPS", AttrKind::Numeric { scale: 5.0 }, true);
+        schema.add_source("Google Finance", true);
+        schema.add_source("SketchyQuotes", false);
+        schema.add_source("SketchyMirror", false);
+        schema
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let schema = sample_schema();
+        assert_eq!(schema.num_attributes(), 3);
+        assert_eq!(schema.num_sources(), 3);
+        assert_eq!(schema.attribute(AttrId(1)).name, "Volume");
+        assert_eq!(schema.source(SourceId(0)).name, "Google Finance");
+    }
+
+    #[test]
+    fn authority_listing() {
+        let schema = sample_schema();
+        assert_eq!(schema.authority_sources(), vec![SourceId(0)]);
+        assert_eq!(schema.all_sources().len(), 3);
+    }
+
+    #[test]
+    fn copy_groups_follow_provenance() {
+        let mut schema = sample_schema();
+        assert!(schema.copy_groups().is_empty());
+        schema.set_copy_of(SourceId(2), SourceId(1));
+        let groups = schema.copy_groups();
+        assert_eq!(groups, vec![vec![SourceId(1), SourceId(2)]]);
+    }
+
+    #[test]
+    fn attr_kind_maps_to_value_kind() {
+        assert_eq!(
+            AttrKind::Numeric { scale: 1.0 }.value_kind(),
+            ValueKind::Number
+        );
+        assert_eq!(AttrKind::Time.value_kind(), ValueKind::Time);
+        assert_eq!(
+            AttrKind::Categorical { cardinality: 40 }.value_kind(),
+            ValueKind::Text
+        );
+    }
+}

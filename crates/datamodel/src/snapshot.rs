@@ -1,0 +1,336 @@
+//! Observation tables: one [`Snapshot`] per domain per day.
+//!
+//! A snapshot records, for every data item, which sources provided which
+//! (normalized) value on that day — exactly the table the paper's
+//! measurements and fusion experiments run over. The snapshot also owns the
+//! [`ToleranceContext`] computed from its own values, so bucketing is always
+//! performed with the tolerances of Equation 3.
+
+use crate::bucket::{Bucketing, ValueBucket};
+use crate::ids::{AttrId, ItemId, ObjectId, SourceId};
+use crate::schema::DomainSchema;
+use crate::tolerance::{ToleranceContext, TolerancePolicy};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One source's claim about one data item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The source making the claim.
+    pub source: SourceId,
+    /// The (normalized) value it provides.
+    pub value: Value,
+}
+
+/// Builder for a [`Snapshot`]; accumulate observations then call
+/// [`SnapshotBuilder::build`].
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    day: u32,
+    policy: TolerancePolicy,
+    items: BTreeMap<ItemId, Vec<Observation>>,
+}
+
+impl SnapshotBuilder {
+    /// Start building the snapshot for `day` (an index into the collection
+    /// period, e.g. 0 for July 1st).
+    pub fn new(day: u32) -> Self {
+        Self {
+            day,
+            policy: TolerancePolicy::default(),
+            items: BTreeMap::new(),
+        }
+    }
+
+    /// Override the tolerance policy (default: α = 0.01, 10-minute times).
+    pub fn with_policy(mut self, policy: TolerancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Record that `source` provides `value` for `(object, attr)`.
+    ///
+    /// Each source provides at most one value per data item (the paper's
+    /// setting); adding a second claim from the same source replaces the
+    /// first.
+    pub fn add(&mut self, source: SourceId, object: ObjectId, attr: AttrId, value: Value) {
+        let item = ItemId::new(object, attr);
+        let obs = self.items.entry(item).or_default();
+        match obs.iter_mut().find(|o| o.source == source) {
+            Some(existing) => existing.value = value,
+            None => obs.push(Observation { source, value }),
+        }
+    }
+
+    /// Number of observations recorded so far.
+    pub fn num_observations(&self) -> usize {
+        self.items.values().map(Vec::len).sum()
+    }
+
+    /// Finalize the snapshot: computes the per-attribute tolerance context
+    /// from all recorded values.
+    pub fn build(self, schema: Arc<DomainSchema>) -> Snapshot {
+        let mut values_per_attr: Vec<Vec<Value>> = vec![Vec::new(); schema.num_attributes()];
+        for (item, obs) in &self.items {
+            let slot = &mut values_per_attr[item.attr.index()];
+            for o in obs {
+                slot.push(o.value.clone());
+            }
+        }
+        let tolerance = ToleranceContext::from_values(&schema, &values_per_attr, self.policy);
+        Snapshot {
+            schema,
+            day: self.day,
+            items: self.items,
+            tolerance,
+        }
+    }
+}
+
+/// The observation table for one domain on one day.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    schema: Arc<DomainSchema>,
+    day: u32,
+    items: BTreeMap<ItemId, Vec<Observation>>,
+    tolerance: ToleranceContext,
+}
+
+impl Snapshot {
+    /// The day index this snapshot was collected on.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// The domain schema.
+    pub fn schema(&self) -> &DomainSchema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<DomainSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The tolerance context computed from this snapshot's values.
+    pub fn tolerance(&self) -> &ToleranceContext {
+        &self.tolerance
+    }
+
+    /// Number of data items with at least one observation.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total number of (source, item, value) observations.
+    pub fn num_observations(&self) -> usize {
+        self.items.values().map(Vec::len).sum()
+    }
+
+    /// Iterate over all data items and their observations, in item order.
+    pub fn items(&self) -> impl Iterator<Item = (&ItemId, &[Observation])> {
+        self.items.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Ids of all data items, in order.
+    pub fn item_ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.items.keys().copied()
+    }
+
+    /// Observations for one data item (empty slice if the item is unknown).
+    pub fn observations(&self, item: ItemId) -> &[Observation] {
+        self.items.get(&item).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The value `source` provides for `item`, if any.
+    pub fn value_of(&self, source: SourceId, item: ItemId) -> Option<&Value> {
+        self.observations(item)
+            .iter()
+            .find(|o| o.source == source)
+            .map(|o| &o.value)
+    }
+
+    /// All distinct objects observed in this snapshot.
+    pub fn objects(&self) -> BTreeSet<ObjectId> {
+        self.items.keys().map(|i| i.object).collect()
+    }
+
+    /// All sources that provide at least one observation.
+    pub fn active_sources(&self) -> BTreeSet<SourceId> {
+        self.items
+            .values()
+            .flat_map(|obs| obs.iter().map(|o| o.source))
+            .collect()
+    }
+
+    /// All items of one attribute.
+    pub fn items_of_attr(&self, attr: AttrId) -> Vec<ItemId> {
+        self.items
+            .keys()
+            .copied()
+            .filter(|i| i.attr == attr)
+            .collect()
+    }
+
+    /// All items a given source provides a value for.
+    pub fn items_of_source(&self, source: SourceId) -> Vec<ItemId> {
+        self.items
+            .iter()
+            .filter(|(_, obs)| obs.iter().any(|o| o.source == source))
+            .map(|(i, _)| *i)
+            .collect()
+    }
+
+    /// Objects a given source covers (provides at least one attribute for).
+    pub fn objects_of_source(&self, source: SourceId) -> BTreeSet<ObjectId> {
+        self.items_of_source(source)
+            .into_iter()
+            .map(|i| i.object)
+            .collect()
+    }
+
+    /// Attributes a given source provides (its local schema projected onto
+    /// global attributes).
+    pub fn attrs_of_source(&self, source: SourceId) -> BTreeSet<AttrId> {
+        self.items_of_source(source)
+            .into_iter()
+            .map(|i| i.attr)
+            .collect()
+    }
+
+    /// Tolerance-bucketed value groups for one item, dominant bucket first.
+    pub fn buckets(&self, item: ItemId) -> Vec<ValueBucket> {
+        let obs = self.observations(item);
+        let pairs: Vec<(SourceId, Value)> =
+            obs.iter().map(|o| (o.source, o.value.clone())).collect();
+        Bucketing::for_attr(&self.tolerance, item.attr).bucket(&pairs)
+    }
+
+    /// A new snapshot containing only observations from `sources`.
+    ///
+    /// Used by the incremental-source experiments of Figure 9. Tolerances are
+    /// recomputed from the restricted data.
+    pub fn restrict_to_sources(&self, sources: &[SourceId]) -> Snapshot {
+        let keep: BTreeSet<SourceId> = sources.iter().copied().collect();
+        let mut builder = SnapshotBuilder::new(self.day).with_policy(self.tolerance.policy());
+        for (item, obs) in &self.items {
+            for o in obs {
+                if keep.contains(&o.source) {
+                    builder.add(o.source, item.object, item.attr, o.value.clone());
+                }
+            }
+        }
+        builder.build(Arc::clone(&self.schema))
+    }
+
+    /// A new snapshot with all observations from `sources` removed.
+    ///
+    /// Used by the copier-removal experiments of Section 3.4.
+    pub fn remove_sources(&self, sources: &[SourceId]) -> Snapshot {
+        let drop: BTreeSet<SourceId> = sources.iter().copied().collect();
+        let keep: Vec<SourceId> = self
+            .active_sources()
+            .into_iter()
+            .filter(|s| !drop.contains(s))
+            .collect();
+        self.restrict_to_sources(&keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrKind;
+
+    fn schema() -> Arc<DomainSchema> {
+        let mut s = DomainSchema::new("stock");
+        s.add_attribute("Last price", AttrKind::Numeric { scale: 100.0 }, false);
+        s.add_attribute("Volume", AttrKind::Numeric { scale: 1e6 }, false);
+        s.add_source("A", true);
+        s.add_source("B", false);
+        s.add_source("C", false);
+        Arc::new(s)
+    }
+
+    fn snapshot() -> Snapshot {
+        let mut b = SnapshotBuilder::new(0);
+        let price = AttrId(0);
+        let volume = AttrId(1);
+        let obj = ObjectId(0);
+        b.add(SourceId(0), obj, price, Value::number(100.0));
+        b.add(SourceId(1), obj, price, Value::number(100.2));
+        b.add(SourceId(2), obj, price, Value::number(105.0));
+        b.add(SourceId(0), obj, volume, Value::number(1_000_000.0));
+        b.add(SourceId(1), ObjectId(1), price, Value::number(50.0));
+        b.build(schema())
+    }
+
+    #[test]
+    fn counts_and_lookups() {
+        let snap = snapshot();
+        assert_eq!(snap.num_items(), 3);
+        assert_eq!(snap.num_observations(), 5);
+        assert_eq!(snap.objects().len(), 2);
+        assert_eq!(snap.active_sources().len(), 3);
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        assert_eq!(snap.observations(item).len(), 3);
+        assert_eq!(
+            snap.value_of(SourceId(2), item),
+            Some(&Value::number(105.0))
+        );
+        assert_eq!(snap.value_of(SourceId(2), ItemId::new(ObjectId(1), AttrId(0))), None);
+    }
+
+    #[test]
+    fn duplicate_claims_replace() {
+        let mut b = SnapshotBuilder::new(0);
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(1.0));
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(2.0));
+        let snap = b.build(schema());
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        assert_eq!(snap.observations(item).len(), 1);
+        assert_eq!(snap.value_of(SourceId(0), item), Some(&Value::number(2.0)));
+    }
+
+    #[test]
+    fn buckets_use_snapshot_tolerance() {
+        let snap = snapshot();
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        let buckets = snap.buckets(item);
+        // Median price ~100 => tolerance ~1.0, so 100.0 and 100.2 group together.
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].support(), 2);
+    }
+
+    #[test]
+    fn source_projections() {
+        let snap = snapshot();
+        assert_eq!(snap.items_of_source(SourceId(1)).len(), 2);
+        assert_eq!(snap.objects_of_source(SourceId(1)).len(), 2);
+        assert_eq!(snap.attrs_of_source(SourceId(0)).len(), 2);
+        assert_eq!(snap.items_of_attr(AttrId(0)).len(), 2);
+    }
+
+    #[test]
+    fn restriction_and_removal() {
+        let snap = snapshot();
+        let only_a = snap.restrict_to_sources(&[SourceId(0)]);
+        assert_eq!(only_a.active_sources().len(), 1);
+        assert_eq!(only_a.num_observations(), 2);
+
+        let without_a = snap.remove_sources(&[SourceId(0)]);
+        assert!(!without_a.active_sources().contains(&SourceId(0)));
+        assert_eq!(without_a.num_observations(), 3);
+        // The original is untouched.
+        assert_eq!(snap.num_observations(), 5);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let snap = SnapshotBuilder::new(3).build(schema());
+        assert_eq!(snap.day(), 3);
+        assert_eq!(snap.num_items(), 0);
+        assert!(snap.buckets(ItemId::new(ObjectId(0), AttrId(0))).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Tolerance policy (Equation 3 of the paper) and the per-attribute tolerance
+//! context used throughout profiling and fusion.
+//!
+//! The paper is "fairly tolerant to slightly different values": times match
+//! within 10 minutes, and a numeric attribute `A` matches within
+//! `τ(A) = α · Median(V̄(A))` where `V̄(A)` is the set of all values provided
+//! for `A` and `α = 0.01` by default.
+
+use crate::ids::AttrId;
+use crate::schema::{AttrKind, DomainSchema};
+use crate::stats::median;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Default tolerance factor α of Equation 3.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Tolerance for time attributes, in minutes (paper, Section 3.2).
+pub const TIME_TOLERANCE_MINUTES: f64 = 10.0;
+
+/// Configuration of the tolerance computation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TolerancePolicy {
+    /// The α factor of Equation 3 applied to the median of numeric values.
+    pub alpha: f64,
+    /// Tolerance applied to time values, in minutes.
+    pub time_tolerance_minutes: f64,
+}
+
+impl Default for TolerancePolicy {
+    fn default() -> Self {
+        Self {
+            alpha: DEFAULT_ALPHA,
+            time_tolerance_minutes: TIME_TOLERANCE_MINUTES,
+        }
+    }
+}
+
+impl TolerancePolicy {
+    /// A strict policy with (numerically) zero tolerance, useful in tests.
+    pub fn strict() -> Self {
+        Self {
+            alpha: 0.0,
+            time_tolerance_minutes: 0.0,
+        }
+    }
+}
+
+/// Per-attribute absolute tolerances computed from observed data.
+///
+/// Built once per snapshot with [`ToleranceContext::from_values`]; the
+/// profiling and fusion crates then ask for the absolute tolerance of any
+/// attribute via [`ToleranceContext::tolerance`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ToleranceContext {
+    policy: TolerancePolicy,
+    /// Absolute tolerance per attribute, indexed by `AttrId::index()`.
+    per_attr: Vec<f64>,
+    /// Typical magnitude per attribute (median of |values|), used as the
+    /// similarity scale by `AccuSim`-style methods.
+    scale: Vec<f64>,
+}
+
+impl ToleranceContext {
+    /// Compute tolerances from all values observed for each attribute.
+    ///
+    /// `values_per_attr[a]` must hold every value any source provided for
+    /// attribute `a` in the snapshot (duplicates included); the schema drives
+    /// whether an attribute uses the numeric α·median rule or the fixed time
+    /// tolerance. Text attributes get tolerance 0 (exact match after
+    /// normalization).
+    pub fn from_values(
+        schema: &DomainSchema,
+        values_per_attr: &[Vec<Value>],
+        policy: TolerancePolicy,
+    ) -> Self {
+        let mut per_attr = vec![0.0; schema.num_attributes()];
+        let mut scale = vec![1.0; schema.num_attributes()];
+        for attr in &schema.attributes {
+            let idx = attr.id.index();
+            let observed: Vec<f64> = values_per_attr
+                .get(idx)
+                .map(|vs| vs.iter().filter_map(Value::as_f64).collect())
+                .unwrap_or_default();
+            match attr.kind {
+                AttrKind::Numeric { scale: s } => {
+                    let med = if observed.is_empty() {
+                        s
+                    } else {
+                        median(&observed).abs()
+                    };
+                    per_attr[idx] = policy.alpha * med;
+                    scale[idx] = if med > 0.0 { med } else { s.max(1.0) };
+                }
+                AttrKind::Time => {
+                    per_attr[idx] = policy.time_tolerance_minutes;
+                    scale[idx] = policy.time_tolerance_minutes.max(1.0);
+                }
+                AttrKind::Categorical { .. } => {
+                    per_attr[idx] = 0.0;
+                    scale[idx] = 1.0;
+                }
+            }
+        }
+        Self {
+            policy,
+            per_attr,
+            scale,
+        }
+    }
+
+    /// A context with explicit per-attribute tolerances (mainly for tests).
+    pub fn explicit(per_attr: Vec<f64>, policy: TolerancePolicy) -> Self {
+        let scale = per_attr.iter().map(|t| t.max(1.0)).collect();
+        Self {
+            policy,
+            per_attr,
+            scale,
+        }
+    }
+
+    /// The policy the context was built with.
+    pub fn policy(&self) -> TolerancePolicy {
+        self.policy
+    }
+
+    /// Absolute tolerance τ(A) for attribute `attr` (Equation 3). Attributes
+    /// unknown to the context (out of range) get zero tolerance.
+    pub fn tolerance(&self, attr: AttrId) -> f64 {
+        self.per_attr.get(attr.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Similarity scale for attribute `attr`: roughly the magnitude of its
+    /// values, used to normalize distances in `Value::similarity`.
+    pub fn similarity_scale(&self, attr: AttrId) -> f64 {
+        self.scale.get(attr.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Tolerance-aware value equality for attribute `attr`.
+    pub fn values_match(&self, attr: AttrId, a: &Value, b: &Value) -> bool {
+        a.matches(b, self.tolerance(attr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrKind;
+
+    fn schema() -> DomainSchema {
+        let mut s = DomainSchema::new("stock");
+        s.add_attribute("Last price", AttrKind::Numeric { scale: 100.0 }, false);
+        s.add_attribute("Actual departure", AttrKind::Time, false);
+        s.add_attribute("Gate", AttrKind::Categorical { cardinality: 30 }, false);
+        s
+    }
+
+    #[test]
+    fn numeric_tolerance_is_alpha_times_median() {
+        let schema = schema();
+        let values = vec![
+            vec![
+                Value::number(100.0),
+                Value::number(102.0),
+                Value::number(98.0),
+            ],
+            vec![],
+            vec![],
+        ];
+        let ctx =
+            ToleranceContext::from_values(&schema, &values, TolerancePolicy::default());
+        assert!((ctx.tolerance(AttrId(0)) - 1.0).abs() < 1e-12);
+        assert!(ctx.values_match(AttrId(0), &Value::number(100.0), &Value::number(100.9)));
+        assert!(!ctx.values_match(AttrId(0), &Value::number(100.0), &Value::number(101.5)));
+    }
+
+    #[test]
+    fn time_tolerance_is_ten_minutes() {
+        let schema = schema();
+        let ctx = ToleranceContext::from_values(
+            &schema,
+            &[vec![], vec![Value::time(600)], vec![]],
+            TolerancePolicy::default(),
+        );
+        assert_eq!(ctx.tolerance(AttrId(1)), 10.0);
+        assert!(ctx.values_match(AttrId(1), &Value::time(600), &Value::time(610)));
+        assert!(!ctx.values_match(AttrId(1), &Value::time(600), &Value::time(611)));
+    }
+
+    #[test]
+    fn text_requires_exact_match() {
+        let schema = schema();
+        let ctx = ToleranceContext::from_values(
+            &schema,
+            &[vec![], vec![], vec![Value::text("B12")]],
+            TolerancePolicy::default(),
+        );
+        assert_eq!(ctx.tolerance(AttrId(2)), 0.0);
+        assert!(ctx.values_match(AttrId(2), &Value::text("B12"), &Value::text("b12")));
+        assert!(!ctx.values_match(AttrId(2), &Value::text("B12"), &Value::text("B13")));
+    }
+
+    #[test]
+    fn missing_values_fall_back_to_schema_scale() {
+        let schema = schema();
+        let ctx = ToleranceContext::from_values(
+            &schema,
+            &[vec![], vec![], vec![]],
+            TolerancePolicy::default(),
+        );
+        // α * schema scale (100) = 1.0
+        assert!((ctx.tolerance(AttrId(0)) - 1.0).abs() < 1e-12);
+        // Unknown attribute -> 0.
+        assert_eq!(ctx.tolerance(AttrId(55)), 0.0);
+    }
+
+    #[test]
+    fn strict_policy_disables_tolerance() {
+        let schema = schema();
+        let ctx = ToleranceContext::from_values(
+            &schema,
+            &[vec![Value::number(100.0)], vec![], vec![]],
+            TolerancePolicy::strict(),
+        );
+        assert_eq!(ctx.tolerance(AttrId(0)), 0.0);
+        assert_eq!(ctx.tolerance(AttrId(1)), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Precision vs. dominance factor (Figure 10): how a fusion method's
+//! precision varies with how contested a data item is, compared against VOTE.
+//!
+//! The paper's point: the advanced methods' gains over VOTE concentrate on
+//! the items whose dominance factor is low (below .5 for Stock, in [.4, .7)
+//! for Flight, where copied wrong values can dominate).
+
+use crate::runner::EvaluationContext;
+use fusion::FusionResult;
+use serde::Serialize;
+
+/// Precision of a method within one dominance-factor bin.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DominancePrecisionPoint {
+    /// Lower edge of the dominance-factor bin `[lo, lo + 0.1)`.
+    pub factor_low: f64,
+    /// Number of gold-covered items in the bin.
+    pub items: usize,
+    /// Precision of the method on those items.
+    pub precision: f64,
+}
+
+/// Compute the Figure-10 series for one fusion result: precision per
+/// dominance-factor bin of the underlying items.
+pub fn precision_by_dominance(
+    context: &EvaluationContext<'_>,
+    result: &FusionResult,
+) -> Vec<DominancePrecisionPoint> {
+    let snapshot = context.snapshot;
+    let gold = context.gold;
+    let mut correct = [0usize; 10];
+    let mut total = [0usize; 10];
+    for item in gold.items() {
+        let Some(value) = result.value_for(item) else {
+            continue;
+        };
+        let buckets = snapshot.buckets(item);
+        let providers: usize = buckets.iter().map(|b| b.support()).sum();
+        let Some(top) = buckets.first() else {
+            continue;
+        };
+        let factor = top.support() as f64 / providers.max(1) as f64;
+        let bin = ((factor * 10.0).floor() as usize).min(9);
+        let truth = gold.get(item).expect("gold item");
+        let tol = snapshot.tolerance().tolerance(item.attr);
+        total[bin] += 1;
+        if truth.matches(value, tol) || value.subsumes(truth) {
+            correct[bin] += 1;
+        }
+    }
+    (0..10)
+        .map(|bin| DominancePrecisionPoint {
+            factor_low: bin as f64 / 10.0,
+            items: total[bin],
+            precision: if total[bin] == 0 {
+                0.0
+            } else {
+                correct[bin] as f64 / total[bin] as f64
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, stock_config};
+    use fusion::{method_by_name, FusionOptions};
+
+    #[test]
+    fn bins_cover_all_judged_items() {
+        let domain = generate(&stock_config(51).scaled(0.02, 0.1));
+        let day = domain.collection.reference_day();
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        let vote = method_by_name("Vote")
+            .unwrap()
+            .run(&context.problem, &FusionOptions::standard());
+        let points = precision_by_dominance(&context, &vote);
+        assert_eq!(points.len(), 10);
+        let covered: usize = points.iter().map(|p| p.items).sum();
+        // Every gold item that received an output value lands in some bin.
+        let judged = crate::metrics::precision_recall(&day.snapshot, &day.gold, &vote).judged;
+        assert_eq!(covered, judged);
+        for p in &points {
+            assert!(p.precision >= 0.0 && p.precision <= 1.0);
+        }
+    }
+
+    #[test]
+    fn vote_is_perfect_on_fully_dominant_items() {
+        let domain = generate(&stock_config(52).scaled(0.02, 0.1));
+        let day = domain.collection.reference_day();
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        let vote = method_by_name("Vote")
+            .unwrap()
+            .run(&context.problem, &FusionOptions::standard());
+        let points = precision_by_dominance(&context, &vote);
+        // In the top bin (dominance ≥ 0.9) the dominant value is practically
+        // always the gold value.
+        let top = &points[9];
+        if top.items > 20 {
+            assert!(top.precision > 0.9, "top-bin precision {}", top.precision);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Pairwise method comparison (Table 8): for a (basic, advanced) method pair,
+//! how many of the basic method's errors the advanced method fixes, how many
+//! new errors it introduces, and the net precision change.
+
+use crate::runner::EvaluationContext;
+use datamodel::ItemId;
+use fusion::{method_by_name, FusionOptions, FusionResult};
+use serde::Serialize;
+
+/// The method pairs Table 8 compares (basic → intended improvement).
+pub const PAPER_METHOD_PAIRS: [(&str, &str); 9] = [
+    ("Hub", "AvgLog"),
+    ("Invest", "PooledInvest"),
+    ("2-Estimates", "3-Estimates"),
+    ("TruthFinder", "AccuSim"),
+    ("AccuPr", "AccuSim"),
+    ("AccuPr", "PopAccu"),
+    ("AccuSim", "AccuSimAttr"),
+    ("AccuSimAttr", "AccuFormatAttr"),
+    ("AccuFormatAttr", "AccuCopy"),
+];
+
+/// Table-8 row for one method pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodComparison {
+    /// The basic method.
+    pub basic: String,
+    /// The advanced method intended to improve over it.
+    pub advanced: String,
+    /// Errors of the basic method corrected by the advanced method.
+    pub fixed_errors: usize,
+    /// Errors introduced by the advanced method on items the basic method got
+    /// right.
+    pub new_errors: usize,
+    /// Precision of the basic method.
+    pub basic_precision: f64,
+    /// Precision of the advanced method.
+    pub advanced_precision: f64,
+    /// Precision difference (advanced − basic).
+    pub delta_precision: f64,
+}
+
+/// Judge one output value against the gold standard (`None` = not covered).
+fn judged_correct(
+    context: &EvaluationContext<'_>,
+    item: ItemId,
+    result: &FusionResult,
+) -> Option<bool> {
+    let value = result.value_for(item)?;
+    let truth = context.gold.get(item)?;
+    let tol = context.snapshot.tolerance().tolerance(item.attr);
+    Some(truth.matches(value, tol) || value.subsumes(truth))
+}
+
+/// Compare two already-computed fusion results item by item.
+pub fn compare_results(
+    context: &EvaluationContext<'_>,
+    basic: &FusionResult,
+    advanced: &FusionResult,
+) -> MethodComparison {
+    let mut fixed = 0usize;
+    let mut new = 0usize;
+    let mut basic_correct = 0usize;
+    let mut advanced_correct = 0usize;
+    let mut judged = 0usize;
+    for item in context.gold.items() {
+        let (Some(b), Some(a)) = (
+            judged_correct(context, item, basic),
+            judged_correct(context, item, advanced),
+        ) else {
+            continue;
+        };
+        judged += 1;
+        if b {
+            basic_correct += 1;
+        }
+        if a {
+            advanced_correct += 1;
+        }
+        match (b, a) {
+            (false, true) => fixed += 1,
+            (true, false) => new += 1,
+            _ => {}
+        }
+    }
+    let denom = judged.max(1) as f64;
+    let basic_precision = basic_correct as f64 / denom;
+    let advanced_precision = advanced_correct as f64 / denom;
+    MethodComparison {
+        basic: basic.method.clone(),
+        advanced: advanced.method.clone(),
+        fixed_errors: fixed,
+        new_errors: new,
+        basic_precision,
+        advanced_precision,
+        delta_precision: advanced_precision - basic_precision,
+    }
+}
+
+/// Run and compare a (basic, advanced) pair by name. Returns `None` when a
+/// name is unknown.
+pub fn compare_methods(
+    context: &EvaluationContext<'_>,
+    basic: &str,
+    advanced: &str,
+) -> Option<MethodComparison> {
+    let options = FusionOptions::standard();
+    let basic_result = method_by_name(basic)?.run(&context.problem, &options);
+    let advanced_result = method_by_name(advanced)?.run(&context.problem, &options);
+    Some(compare_results(context, &basic_result, &advanced_result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, stock_config};
+
+    #[test]
+    fn comparison_accounting_is_consistent() {
+        let domain = generate(&stock_config(31).scaled(0.015, 0.1));
+        let day = domain.collection.reference_day();
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        let cmp = compare_methods(&context, "Vote", "AccuFormatAttr").unwrap();
+        assert_eq!(cmp.basic, "Vote");
+        assert_eq!(cmp.advanced, "AccuFormatAttr");
+        // Δprecision must equal (fixed - new) / judged, so verify the sign
+        // relationship at least.
+        if cmp.fixed_errors > cmp.new_errors {
+            assert!(cmp.delta_precision > 0.0);
+        }
+        if cmp.fixed_errors < cmp.new_errors {
+            assert!(cmp.delta_precision < 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_methods_have_no_differences() {
+        let domain = generate(&stock_config(32).scaled(0.01, 0.1));
+        let day = domain.collection.reference_day();
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        let cmp = compare_methods(&context, "Vote", "Vote").unwrap();
+        assert_eq!(cmp.fixed_errors, 0);
+        assert_eq!(cmp.new_errors, 0);
+        assert_eq!(cmp.delta_precision, 0.0);
+    }
+
+    #[test]
+    fn unknown_method_yields_none() {
+        let domain = generate(&stock_config(33).scaled(0.01, 0.1));
+        let day = domain.collection.reference_day();
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        assert!(compare_methods(&context, "Vote", "NotAMethod").is_none());
+    }
+
+    #[test]
+    fn paper_pairs_reference_known_methods() {
+        for (basic, advanced) in PAPER_METHOD_PAIRS {
+            assert!(fusion::method_by_name(basic).is_some(), "{basic} unknown");
+            assert!(
+                fusion::method_by_name(advanced).is_some(),
+                "{advanced} unknown"
+            );
+        }
+    }
+}

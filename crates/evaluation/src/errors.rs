@@ -1,0 +1,254 @@
+//! Error analysis of a fusion method's mistakes (Figure 11).
+//!
+//! The paper samples 20 errors of the best method per domain and attributes
+//! each to a cause. With the full pipeline available the attribution can be
+//! computed for *every* error:
+//!
+//! 1. the selected value has a finer/coarser granularity than the gold value
+//!    (not really an error),
+//! 2. the error disappears when sampled trust is given (imprecise
+//!    trustworthiness),
+//! 3. the error additionally needs the known copy relationships (not
+//!    considering correct copying),
+//! 4. otherwise the data itself does not support the truth: similar false
+//!    values, a false value provided by high-accuracy sources, a dominant
+//!    false value, or no dominant value at all.
+
+use crate::runner::EvaluationContext;
+use datamodel::ItemId;
+use fusion::{FusionMethod, FusionOptions, FusionResult};
+use serde::Serialize;
+
+/// The cause categories of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ErrorCause {
+    /// The method selected a finer- or coarser-granularity representation of
+    /// the gold value.
+    FinerGranularity,
+    /// Knowing the sampled source trustworthiness fixes the error.
+    ImpreciseTrustworthiness,
+    /// Knowing the copy relationships (in addition to trust) fixes the error.
+    NotConsideringCopying,
+    /// Many similar false values crowd out the truth.
+    SimilarFalseValues,
+    /// The false value is provided by high-accuracy sources.
+    FalseFromAccurateSources,
+    /// The false value is provided by more than half of the providers.
+    FalseValueDominant,
+    /// No value is dominant and the truth has no more support than the rest.
+    NoDominantValue,
+}
+
+impl ErrorCause {
+    /// All causes in Figure-11 order.
+    pub const ALL: [ErrorCause; 7] = [
+        ErrorCause::FinerGranularity,
+        ErrorCause::ImpreciseTrustworthiness,
+        ErrorCause::NotConsideringCopying,
+        ErrorCause::SimilarFalseValues,
+        ErrorCause::FalseFromAccurateSources,
+        ErrorCause::FalseValueDominant,
+        ErrorCause::NoDominantValue,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCause::FinerGranularity => "selecting finer-granularity value",
+            ErrorCause::ImpreciseTrustworthiness => "imprecise trustworthiness",
+            ErrorCause::NotConsideringCopying => "not considering correct copying",
+            ErrorCause::SimilarFalseValues => "similar false values are provided",
+            ErrorCause::FalseFromAccurateSources => "false value provided by high-accuracy sources",
+            ErrorCause::FalseValueDominant => "false value dominant",
+            ErrorCause::NoDominantValue => "no one value dominant",
+        }
+    }
+}
+
+/// The Figure-11 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorAnalysis {
+    /// Method whose errors were analyzed.
+    pub method: String,
+    /// Total number of errors analyzed.
+    pub total_errors: usize,
+    /// Count per cause, in [`ErrorCause::ALL`] order.
+    pub counts: Vec<(String, usize)>,
+}
+
+impl ErrorAnalysis {
+    /// Share of errors attributed to `cause`.
+    pub fn share(&self, cause: ErrorCause) -> f64 {
+        if self.total_errors == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .find(|(label, _)| label == cause.label())
+            .map(|(_, c)| *c as f64 / self.total_errors as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Analyze every error the method makes on the gold-covered items.
+pub fn analyze_errors(
+    context: &EvaluationContext<'_>,
+    method: &dyn FusionMethod,
+) -> ErrorAnalysis {
+    let base = method.run(&context.problem, &FusionOptions::standard());
+    let with_trust = method.run(
+        &context.problem,
+        &FusionOptions::standard().with_input_trust(context.sampled_trust.clone()),
+    );
+    let with_trust_and_copy = {
+        let mut opts = FusionOptions::standard().with_input_trust(context.sampled_trust.clone());
+        if let Some(known) = &context.known_copying {
+            opts = opts.with_known_copying(known.clone());
+        }
+        method.run(&context.problem, &opts)
+    };
+
+    let mut counts = vec![0usize; ErrorCause::ALL.len()];
+    let mut total = 0usize;
+    for item in context.gold.items() {
+        if judged_correct(context, item, &base) != Some(false) {
+            continue;
+        }
+        total += 1;
+        let cause = classify(context, item, &base, &with_trust, &with_trust_and_copy);
+        let idx = ErrorCause::ALL.iter().position(|c| *c == cause).expect("known cause");
+        counts[idx] += 1;
+    }
+    ErrorAnalysis {
+        method: method.name(),
+        total_errors: total,
+        counts: ErrorCause::ALL
+            .iter()
+            .zip(counts)
+            .map(|(c, n)| (c.label().to_string(), n))
+            .collect(),
+    }
+}
+
+fn judged_correct(
+    context: &EvaluationContext<'_>,
+    item: ItemId,
+    result: &FusionResult,
+) -> Option<bool> {
+    let value = result.value_for(item)?;
+    let truth = context.gold.get(item)?;
+    let tol = context.snapshot.tolerance().tolerance(item.attr);
+    Some(truth.matches(value, tol) || value.subsumes(truth))
+}
+
+fn classify(
+    context: &EvaluationContext<'_>,
+    item: ItemId,
+    base: &FusionResult,
+    with_trust: &FusionResult,
+    with_trust_and_copy: &FusionResult,
+) -> ErrorCause {
+    let snapshot = context.snapshot;
+    let gold = context.gold;
+    let truth = gold.get(item).expect("gold item");
+    let selected = base.value_for(item).expect("selected value");
+
+    // 1. Granularity mismatch: the selection is a rounded form of the truth
+    //    or vice versa (the judge already accepts coarse → fine, so what is
+    //    left is the method picking the *finer* of two near-equal forms).
+    if truth.subsumes(selected) {
+        return ErrorCause::FinerGranularity;
+    }
+    // 2. / 3. Oracle experiments.
+    if judged_correct(context, item, with_trust) == Some(true) {
+        return ErrorCause::ImpreciseTrustworthiness;
+    }
+    if judged_correct(context, item, with_trust_and_copy) == Some(true) {
+        return ErrorCause::NotConsideringCopying;
+    }
+
+    // 4. Structural causes from the item itself.
+    let buckets = snapshot.buckets(item);
+    let providers: usize = buckets.iter().map(|b| b.support()).sum();
+    let tol = snapshot.tolerance().tolerance(item.attr);
+    let selected_bucket = buckets
+        .iter()
+        .find(|b| b.representative.matches(selected, tol));
+    let truth_bucket = buckets.iter().find(|b| b.representative.matches(truth, tol));
+    let scale = snapshot.tolerance().similarity_scale(item.attr);
+
+    // Many distinct values similar to the selection crowd the item.
+    let similar_false = buckets
+        .iter()
+        .filter(|b| {
+            !b.representative.matches(truth, tol)
+                && b.representative.similarity(selected, scale) > 0.5
+        })
+        .count();
+    if similar_false >= 3 {
+        return ErrorCause::SimilarFalseValues;
+    }
+
+    if let Some(sb) = selected_bucket {
+        // The wrong value is backed by sources that are accurate overall.
+        let provider_trust: Vec<f64> = sb
+            .providers
+            .iter()
+            .filter_map(|s| {
+                context
+                    .problem
+                    .source_index(*s)
+                    .map(|i| context.sampled_trust[i])
+            })
+            .collect();
+        let avg_trust = if provider_trust.is_empty() {
+            0.0
+        } else {
+            provider_trust.iter().sum::<f64>() / provider_trust.len() as f64
+        };
+        if avg_trust > 0.9 {
+            return ErrorCause::FalseFromAccurateSources;
+        }
+        if sb.support() * 2 > providers {
+            return ErrorCause::FalseValueDominant;
+        }
+    }
+    let truth_support = truth_bucket.map(|b| b.support()).unwrap_or(0);
+    let max_support = buckets.first().map(|b| b.support()).unwrap_or(0);
+    if truth_support < max_support {
+        return ErrorCause::NoDominantValue;
+    }
+    ErrorCause::NoDominantValue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copydetect::known_copying;
+    use datagen::{flight_config, generate};
+
+    #[test]
+    fn analysis_accounts_for_every_error() {
+        let domain = generate(&flight_config(61).scaled(0.08, 0.06));
+        let day = domain.collection.reference_day();
+        let report = known_copying(day.snapshot.schema());
+        let context = EvaluationContext::new(&day.snapshot, &day.gold).with_known_copying(&report);
+        let method = fusion::method_by_name("AccuCopy").unwrap();
+        let analysis = analyze_errors(&context, method.as_ref());
+        assert_eq!(analysis.method, "AccuCopy");
+        let total: usize = analysis.counts.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, analysis.total_errors);
+        // Shares sum to one whenever there is at least one error.
+        if analysis.total_errors > 0 {
+            let share_sum: f64 = ErrorCause::ALL.iter().map(|c| analysis.share(*c)).sum();
+            assert!((share_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cause_labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            ErrorCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), ErrorCause::ALL.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! Evaluation harness for the fusion experiments (Section 4 of the paper).
+//!
+//! * [`metrics`] — precision/recall against a gold standard, trustworthiness
+//!   deviation (Equation 4) and difference;
+//! * [`runner`] — run one or all fusion methods on a snapshot with and
+//!   without sampled trust (Table 7, Figure 12);
+//! * [`compare`] — pairwise method comparison: errors fixed / introduced
+//!   (Table 8);
+//! * [`incremental`] — recall as sources are added in recall order
+//!   (Figure 9);
+//! * [`breakdown`] — precision vs. dominance factor (Figure 10);
+//! * [`errors`] — error analysis of a method's mistakes (Figure 11);
+//! * [`over_time`] — precision over all collection days (Table 9).
+
+pub mod breakdown;
+pub mod compare;
+pub mod errors;
+pub mod incremental;
+pub mod metrics;
+pub mod over_time;
+pub mod runner;
+
+pub use breakdown::{precision_by_dominance, DominancePrecisionPoint};
+pub use compare::{compare_methods, MethodComparison, PAPER_METHOD_PAIRS};
+pub use errors::{analyze_errors, ErrorAnalysis, ErrorCause};
+pub use incremental::{incremental_recall, IncrementalPoint, IncrementalSeries};
+pub use metrics::{
+    precision_recall, sampled_trust, trust_deviation_and_difference, PrecisionRecall,
+};
+pub use over_time::{evaluate_over_time, MethodOverTime};
+pub use runner::{
+    copy_report_to_dense, evaluate_all_methods, evaluate_method, EvaluationContext,
+    MethodEvaluation,
+};

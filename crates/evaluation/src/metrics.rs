@@ -1,0 +1,213 @@
+//! Core evaluation metrics: precision/recall and trustworthiness quality.
+
+use datamodel::{GoldStandard, Snapshot, SourceId};
+use fusion::{FusionProblem, FusionResult};
+use serde::Serialize;
+
+/// Precision and recall of a fusion output against a gold standard.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PrecisionRecall {
+    /// Fraction of output values (on gold-covered items) consistent with the
+    /// gold standard.
+    pub precision: f64,
+    /// Fraction of gold-standard values output as correct. Equal to the
+    /// precision when every gold item receives an output value.
+    pub recall: f64,
+    /// Number of gold-covered items that received an output value.
+    pub judged: usize,
+    /// Number of items in the gold standard.
+    pub gold_items: usize,
+    /// Number of output values judged wrong.
+    pub errors: usize,
+}
+
+/// Compute precision and recall of `result` against `gold` under the
+/// snapshot's tolerance.
+pub fn precision_recall(
+    snapshot: &Snapshot,
+    gold: &GoldStandard,
+    result: &FusionResult,
+) -> PrecisionRecall {
+    let mut judged = 0usize;
+    let mut correct = 0usize;
+    for (item, truth) in gold.iter() {
+        if let Some(value) = result.value_for(*item) {
+            let tol = snapshot.tolerance().tolerance(item.attr);
+            judged += 1;
+            if truth.matches(value, tol) || value.subsumes(truth) {
+                correct += 1;
+            }
+        }
+    }
+    let gold_items = gold.len();
+    PrecisionRecall {
+        precision: if judged == 0 {
+            0.0
+        } else {
+            correct as f64 / judged as f64
+        },
+        recall: if gold_items == 0 {
+            0.0
+        } else {
+            correct as f64 / gold_items as f64
+        },
+        judged,
+        gold_items,
+        errors: judged - correct,
+    }
+}
+
+/// The sampled trustworthiness of every source of `problem`: its accuracy
+/// against the gold standard (the paper samples source trustworthiness with
+/// respect to the gold standard and feeds it to the methods as oracle input).
+/// Sources with no gold-covered claim get the `fallback` value.
+pub fn sampled_trust(
+    snapshot: &Snapshot,
+    gold: &GoldStandard,
+    problem: &FusionProblem,
+    fallback: f64,
+) -> Vec<f64> {
+    problem
+        .sources
+        .iter()
+        .map(|&source| {
+            source_accuracy_value(snapshot, gold, source).unwrap_or(fallback)
+        })
+        .collect()
+}
+
+fn source_accuracy_value(
+    snapshot: &Snapshot,
+    gold: &GoldStandard,
+    source: SourceId,
+) -> Option<f64> {
+    let mut judged = 0usize;
+    let mut correct = 0usize;
+    for (item, truth) in gold.iter() {
+        if let Some(value) = snapshot.value_of(source, *item) {
+            let tol = snapshot.tolerance().tolerance(item.attr);
+            judged += 1;
+            if truth.matches(value, tol) || value.subsumes(truth) {
+                correct += 1;
+            }
+        }
+    }
+    if judged == 0 {
+        None
+    } else {
+        Some(correct as f64 / judged as f64)
+    }
+}
+
+/// Equation 4 (trustworthiness deviation) and the trustworthiness difference:
+/// root-mean-square difference between the computed and sampled trust, and
+/// the mean computed trust minus the mean sampled trust.
+pub fn trust_deviation_and_difference(computed: &[f64], sampled: &[f64]) -> (f64, f64) {
+    let n = computed.len().min(sampled.len());
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mut sum_sq = 0.0;
+    let mut sum_computed = 0.0;
+    let mut sum_sampled = 0.0;
+    for i in 0..n {
+        let d = computed[i] - sampled[i];
+        sum_sq += d * d;
+        sum_computed += computed[i];
+        sum_sampled += sampled[i];
+    }
+    (
+        (sum_sq / n as f64).sqrt(),
+        (sum_computed - sum_sampled) / n as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrId, AttrKind, DomainSchema, ItemId, ObjectId, SnapshotBuilder, Value};
+    use fusion::{all_methods, FusionOptions};
+    use std::sync::Arc;
+
+    fn setup() -> (Snapshot, GoldStandard) {
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("x", AttrKind::Numeric { scale: 100.0 }, false);
+        for i in 0..3 {
+            schema.add_source(format!("s{i}"), false);
+        }
+        let mut b = SnapshotBuilder::new(0);
+        for obj in 0..4 {
+            let truth = 100.0 + obj as f64;
+            b.add(SourceId(0), ObjectId(obj), AttrId(0), Value::number(truth));
+            b.add(SourceId(1), ObjectId(obj), AttrId(0), Value::number(truth));
+            b.add(
+                SourceId(2),
+                ObjectId(obj),
+                AttrId(0),
+                Value::number(truth + 40.0),
+            );
+        }
+        let snap = b.build(Arc::new(schema));
+        let mut gold = GoldStandard::new();
+        for obj in 0..4 {
+            gold.insert(
+                ItemId::new(ObjectId(obj), AttrId(0)),
+                Value::number(100.0 + obj as f64),
+            );
+        }
+        // One gold item nobody provides: recall must account for it.
+        gold.insert(ItemId::new(ObjectId(9), AttrId(0)), Value::number(1.0));
+        (snap, gold)
+    }
+
+    #[test]
+    fn precision_and_recall_differ_when_items_are_missing() {
+        let (snap, gold) = setup();
+        let problem = FusionProblem::from_snapshot(&snap);
+        let vote = fusion::method_by_name("Vote").unwrap();
+        let result = vote.run(&problem, &FusionOptions::standard());
+        let pr = precision_recall(&snap, &gold, &result);
+        assert_eq!(pr.judged, 4);
+        assert_eq!(pr.gold_items, 5);
+        assert!((pr.precision - 1.0).abs() < 1e-12);
+        assert!((pr.recall - 0.8).abs() < 1e-12);
+        assert_eq!(pr.errors, 0);
+    }
+
+    #[test]
+    fn sampled_trust_reflects_source_accuracy() {
+        let (snap, gold) = setup();
+        let problem = FusionProblem::from_snapshot(&snap);
+        let trust = sampled_trust(&snap, &gold, &problem, 0.5);
+        let s0 = problem.source_index(SourceId(0)).unwrap();
+        let s2 = problem.source_index(SourceId(2)).unwrap();
+        assert!((trust[s0] - 1.0).abs() < 1e-12);
+        assert!(trust[s2] < 0.1);
+    }
+
+    #[test]
+    fn trust_deviation_formula() {
+        let (dev, diff) = trust_deviation_and_difference(&[0.9, 0.7], &[0.8, 0.9]);
+        assert!((dev - (0.05f64).sqrt() * (0.1f64 / 0.05f64.sqrt() * 0.0 + 1.0)).abs() < 1.0);
+        // dev = sqrt((0.01 + 0.04)/2) = sqrt(0.025)
+        assert!((dev - 0.025f64.sqrt()).abs() < 1e-12);
+        assert!((diff - (-0.05)).abs() < 1e-12);
+        assert_eq!(trust_deviation_and_difference(&[], &[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn every_registered_method_scores_perfectly_on_clean_data() {
+        let (snap, gold) = setup();
+        let problem = FusionProblem::from_snapshot(&snap);
+        for (_, method) in all_methods() {
+            let result = method.run(&problem, &FusionOptions::standard());
+            let pr = precision_recall(&snap, &gold, &result);
+            assert!(
+                pr.precision > 0.99,
+                "{} precision {} on trivially clean data",
+                method.name(),
+                pr.precision
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! VOTE: the baseline strategy of taking the dominant value.
+
+use crate::methods::FusionMethod;
+use crate::problem::FusionProblem;
+use crate::types::{FusionOptions, FusionResult, TrustEstimate};
+use std::time::Instant;
+
+/// The baseline VOTE strategy: for every data item select the value provided
+/// by the largest number of sources. Its precision is by definition the
+/// precision of the dominant values (Section 3.2 / Figure 7 of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vote;
+
+impl FusionMethod for Vote {
+    fn name(&self) -> String {
+        "Vote".to_string()
+    }
+
+    fn run(&self, problem: &FusionProblem, _options: &FusionOptions) -> FusionResult {
+        let start = Instant::now();
+        // Candidates are ordered by descending support, so the dominant value
+        // is always candidate 0.
+        let selection = vec![0usize; problem.num_items()];
+
+        // VOTE does not estimate trust; report each source's agreement with
+        // the dominant values, which is the natural a-posteriori reading.
+        let mut agree = vec![0usize; problem.num_sources()];
+        let mut total = vec![0usize; problem.num_sources()];
+        for (s, claims) in problem.claims.iter().enumerate() {
+            for &(_item, cand) in claims {
+                total[s] += 1;
+                if cand == 0 {
+                    agree[s] += 1;
+                }
+            }
+        }
+        let overall = agree
+            .iter()
+            .zip(&total)
+            .map(|(a, t)| if *t == 0 { 0.0 } else { *a as f64 / *t as f64 })
+            .collect();
+
+        FusionResult::from_selection(
+            &self.name(),
+            problem,
+            selection,
+            TrustEstimate {
+                overall,
+                per_attr: None,
+            },
+            0,
+            start.elapsed(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::testutil::{precision, trust_sensitive_snapshot};
+
+    #[test]
+    fn vote_selects_dominant_values() {
+        let (snap, gold) = trust_sensitive_snapshot();
+        let problem = FusionProblem::from_snapshot(&snap);
+        let result = Vote.run(&problem, &FusionOptions::standard());
+        assert_eq!(result.method, "Vote");
+        assert_eq!(result.rounds, 0);
+        // The majority is wrong on item 1, so VOTE scores 4/5.
+        let p = precision(&result, &snap, &gold);
+        assert!((p - 0.8).abs() < 1e-12, "precision {p}");
+    }
+
+    #[test]
+    fn vote_trust_reflects_agreement_with_majority() {
+        let (snap, _) = trust_sensitive_snapshot();
+        let problem = FusionProblem::from_snapshot(&snap);
+        let result = Vote.run(&problem, &FusionOptions::standard());
+        // Source 2 disagrees with the majority on item 0 only.
+        let s2 = problem.source_index(datamodel::SourceId(2)).unwrap();
+        assert!(result.trust.overall[s2] < 1.0);
+    }
+}

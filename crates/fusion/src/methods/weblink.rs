@@ -1,0 +1,324 @@
+//! Web-link based methods: HUB, AVGLOG, INVEST, POOLEDINVEST.
+//!
+//! These methods are inspired by measuring web-page authority from link
+//! analysis (Kleinberg's hubs and authorities) and by the fact-finding
+//! framework of Pasternack & Roth. Source trust and value votes reinforce
+//! each other; normalization (dividing by the maximum) keeps the scores from
+//! growing without bound — except for POOLEDINVEST, whose per-item linear
+//! rescaling makes normalization unnecessary (and whose trust scale therefore
+//! drifts far away from sampled accuracies, reproducing the large trust
+//! deviation the paper reports for it).
+
+use crate::methods::{effective_rounds, initial_trust, weighted_votes, FusionMethod};
+use crate::problem::FusionProblem;
+use crate::types::{argmax_selection, normalize_by_max, FusionOptions, FusionResult, TrustEstimate};
+use std::time::Instant;
+
+/// HUB (Kleinberg-style sums): a value's vote is the sum of its providers'
+/// trust; a source's trust is the sum of its values' votes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hub;
+
+/// AVGLOG: like HUB but dampens the effect of the number of provided values
+/// by averaging the votes and scaling by the logarithm of the claim count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AvgLog;
+
+/// INVEST: a source invests its trust uniformly among its claims; value votes
+/// grow non-linearly in the invested amount and are paid back proportionally.
+#[derive(Debug, Clone, Copy)]
+pub struct Invest {
+    /// Non-linear vote growth exponent (1.2 in Pasternack & Roth).
+    pub growth: f64,
+}
+
+impl Default for Invest {
+    fn default() -> Self {
+        Self { growth: 1.2 }
+    }
+}
+
+/// POOLEDINVEST: INVEST with the votes of each item linearly rescaled so that
+/// they sum to the total investment on the item.
+#[derive(Debug, Clone, Copy)]
+pub struct PooledInvest {
+    /// Non-linear vote growth exponent (1.4 in Pasternack & Roth).
+    pub growth: f64,
+}
+
+impl Default for PooledInvest {
+    fn default() -> Self {
+        Self { growth: 1.4 }
+    }
+}
+
+impl FusionMethod for Hub {
+    fn name(&self) -> String {
+        "Hub".to_string()
+    }
+
+    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+        let start = Instant::now();
+        let mut trust = initial_trust(problem, options, 1.0);
+        let mut votes = weighted_votes(problem, &trust);
+        let mut rounds = 0usize;
+        for _ in 0..effective_rounds(options) {
+            rounds += 1;
+            votes = weighted_votes(problem, &trust);
+            let mut flat: Vec<f64> = votes.iter().flatten().copied().collect();
+            normalize_by_max(&mut flat);
+            let mut k = 0;
+            for item_votes in votes.iter_mut() {
+                for v in item_votes.iter_mut() {
+                    *v = flat[k];
+                    k += 1;
+                }
+            }
+            let mut new_trust = vec![0.0; problem.num_sources()];
+            for (s, claims) in problem.claims.iter().enumerate() {
+                new_trust[s] = claims.iter().map(|&(i, c)| votes[i][c]).sum();
+            }
+            normalize_by_max(&mut new_trust);
+            let new_estimate = TrustEstimate {
+                overall: new_trust,
+                per_attr: None,
+            };
+            let change = new_estimate.max_change(&trust);
+            trust = new_estimate;
+            if change < options.epsilon {
+                break;
+            }
+        }
+        let selection = argmax_selection(&votes);
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+    }
+}
+
+impl FusionMethod for AvgLog {
+    fn name(&self) -> String {
+        "AvgLog".to_string()
+    }
+
+    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+        let start = Instant::now();
+        let mut trust = initial_trust(problem, options, 1.0);
+        let mut votes = weighted_votes(problem, &trust);
+        let mut rounds = 0usize;
+        for _ in 0..effective_rounds(options) {
+            rounds += 1;
+            votes = weighted_votes(problem, &trust);
+            let mut flat: Vec<f64> = votes.iter().flatten().copied().collect();
+            normalize_by_max(&mut flat);
+            let mut k = 0;
+            for item_votes in votes.iter_mut() {
+                for v in item_votes.iter_mut() {
+                    *v = flat[k];
+                    k += 1;
+                }
+            }
+            let mut new_trust = vec![0.0; problem.num_sources()];
+            for (s, claims) in problem.claims.iter().enumerate() {
+                if claims.is_empty() {
+                    continue;
+                }
+                let avg: f64 =
+                    claims.iter().map(|&(i, c)| votes[i][c]).sum::<f64>() / claims.len() as f64;
+                new_trust[s] = (1.0 + claims.len() as f64).ln() * avg;
+            }
+            normalize_by_max(&mut new_trust);
+            let new_estimate = TrustEstimate {
+                overall: new_trust,
+                per_attr: None,
+            };
+            let change = new_estimate.max_change(&trust);
+            trust = new_estimate;
+            if change < options.epsilon {
+                break;
+            }
+        }
+        let selection = argmax_selection(&votes);
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+    }
+}
+
+/// Shared INVEST / POOLEDINVEST iteration.
+fn run_invest(
+    name: &str,
+    growth: f64,
+    pooled: bool,
+    problem: &FusionProblem,
+    options: &FusionOptions,
+) -> FusionResult {
+    let start = Instant::now();
+    let mut trust = initial_trust(problem, options, 1.0);
+    let mut votes: Vec<Vec<f64>> = problem
+        .items
+        .iter()
+        .map(|i| vec![0.0; i.candidates.len()])
+        .collect();
+    let mut rounds = 0usize;
+    for _ in 0..effective_rounds(options) {
+        rounds += 1;
+        // Invested amount per source: trust spread uniformly over its claims.
+        let invested: Vec<f64> = problem
+            .claims
+            .iter()
+            .enumerate()
+            .map(|(s, claims)| {
+                if claims.is_empty() {
+                    0.0
+                } else {
+                    trust.overall[s] / claims.len() as f64
+                }
+            })
+            .collect();
+        // Accumulated investment per candidate.
+        let mut pooled_votes: Vec<Vec<f64>> = problem
+            .items
+            .iter()
+            .map(|item| {
+                item.candidates
+                    .iter()
+                    .map(|cand| cand.providers.iter().map(|&s| invested[s]).sum::<f64>())
+                    .collect()
+            })
+            .collect();
+        // Non-linear growth, optionally rescaled per item so the votes sum to
+        // the total investment on the item.
+        for item_votes in pooled_votes.iter_mut() {
+            let total: f64 = item_votes.iter().sum();
+            let grown: Vec<f64> = item_votes.iter().map(|h| h.powf(growth)).collect();
+            let grown_total: f64 = grown.iter().sum();
+            for (slot, g) in item_votes.iter_mut().zip(&grown) {
+                *slot = if pooled {
+                    if grown_total > 0.0 {
+                        g / grown_total * total
+                    } else {
+                        0.0
+                    }
+                } else {
+                    *g
+                };
+            }
+        }
+        votes = pooled_votes;
+
+        // Pay the votes back to the investors, proportionally to their share
+        // of the investment.
+        let mut new_trust = vec![0.0; problem.num_sources()];
+        for (s, claims) in problem.claims.iter().enumerate() {
+            for &(i, c) in claims {
+                let total_investment: f64 = problem.items[i].candidates[c]
+                    .providers
+                    .iter()
+                    .map(|&p| invested[p])
+                    .sum();
+                if total_investment > 0.0 {
+                    new_trust[s] += votes[i][c] * invested[s] / total_investment;
+                }
+            }
+        }
+        if !pooled {
+            normalize_by_max(&mut new_trust);
+        }
+        let new_estimate = TrustEstimate {
+            overall: new_trust,
+            per_attr: None,
+        };
+        let change = new_estimate.max_change(&trust);
+        trust = new_estimate;
+        if change < options.epsilon {
+            break;
+        }
+    }
+    let selection = argmax_selection(&votes);
+    FusionResult::from_selection(name, problem, selection, trust, rounds, start.elapsed())
+}
+
+impl FusionMethod for Invest {
+    fn name(&self) -> String {
+        "Invest".to_string()
+    }
+
+    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+        run_invest(&self.name(), self.growth, false, problem, options)
+    }
+}
+
+impl FusionMethod for PooledInvest {
+    fn name(&self) -> String {
+        "PooledInvest".to_string()
+    }
+
+    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+        run_invest(&self.name(), self.growth, true, problem, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::testutil::{precision, trust_sensitive_snapshot};
+
+    fn check_method(method: &dyn FusionMethod, min_precision: f64) {
+        let (snap, gold) = trust_sensitive_snapshot();
+        let problem = FusionProblem::from_snapshot(&snap);
+        let result = method.run(&problem, &FusionOptions::standard());
+        assert!(result.rounds >= 1);
+        assert_eq!(result.selected.len(), problem.num_items());
+        let p = precision(&result, &snap, &gold);
+        assert!(
+            p >= min_precision,
+            "{} precision {p} below {min_precision}",
+            method.name()
+        );
+        // Trust scores are finite and non-negative.
+        for t in &result.trust.overall {
+            assert!(t.is_finite() && *t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hub_runs_and_is_at_least_as_good_as_majority() {
+        check_method(&Hub, 0.8);
+    }
+
+    #[test]
+    fn avglog_runs() {
+        check_method(&AvgLog, 0.8);
+    }
+
+    #[test]
+    fn invest_runs() {
+        check_method(&Invest::default(), 0.6);
+    }
+
+    #[test]
+    fn pooledinvest_runs() {
+        check_method(&PooledInvest::default(), 0.6);
+    }
+
+    #[test]
+    fn input_trust_short_circuits_iteration() {
+        let (snap, gold) = trust_sensitive_snapshot();
+        let problem = FusionProblem::from_snapshot(&snap);
+        // Oracle trust: s0 perfect, s1/s2 mediocre — the minority-but-correct
+        // value on item 1 should win for HUB with this input.
+        let opts = FusionOptions::standard().with_input_trust(vec![1.0, 0.3, 0.3]);
+        let result = Hub.run(&problem, &opts);
+        assert_eq!(result.rounds, 1);
+        let p = precision(&result, &snap, &gold);
+        assert!(p > 0.99, "oracle-trust HUB precision {p}");
+    }
+
+    #[test]
+    fn pooled_invest_trust_scale_is_not_normalized() {
+        let (snap, _) = trust_sensitive_snapshot();
+        let problem = FusionProblem::from_snapshot(&snap);
+        let pooled = PooledInvest::default().run(&problem, &FusionOptions::standard());
+        let max_trust = pooled.trust.overall.iter().cloned().fold(0.0, f64::max);
+        // Unlike the normalized methods, POOLEDINVEST trust is on the scale
+        // of vote mass, not probabilities.
+        assert!(max_trust > 1.0, "max trust {max_trust}");
+    }
+}

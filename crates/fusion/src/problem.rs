@@ -1,0 +1,275 @@
+//! Preparation of a snapshot into the dense representation the fusion
+//! methods iterate over.
+//!
+//! Preparing once and sharing across methods keeps the per-method cost down
+//! to the iterative vote/trust updates, mirroring how the paper times the
+//! methods (bucketing and normalization are data preparation, not fusion).
+
+use datamodel::{ItemId, Snapshot, SourceId, Value};
+use std::collections::BTreeMap;
+
+/// One candidate (tolerance-bucketed) value of a data item.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Representative value of the bucket.
+    pub value: Value,
+    /// Dense indices of the sources providing this value.
+    pub providers: Vec<usize>,
+    /// Similarity to the other candidates of the same item:
+    /// `(candidate index, similarity in (0, 1])`, only entries above the
+    /// similarity floor are stored.
+    pub similar: Vec<(usize, f64)>,
+    /// Candidate indices whose (coarser, rounded) value subsumes this one —
+    /// their providers partially support this candidate under the
+    /// formatting-aware methods.
+    pub coarse_supporters: Vec<usize>,
+}
+
+/// A data item prepared for fusion.
+#[derive(Debug, Clone)]
+pub struct PreparedItem {
+    /// The item identity.
+    pub id: ItemId,
+    /// Dense attribute index.
+    pub attr: usize,
+    /// Candidate values, ordered by descending support (the first candidate
+    /// is the dominant value).
+    pub candidates: Vec<Candidate>,
+    /// Dense indices of all sources providing any value for this item.
+    pub providers: Vec<usize>,
+}
+
+impl PreparedItem {
+    /// Total number of providers of the item.
+    pub fn num_providers(&self) -> usize {
+        self.providers.len()
+    }
+}
+
+/// A full snapshot prepared for fusion.
+#[derive(Debug, Clone)]
+pub struct FusionProblem {
+    /// Sources, in dense-index order.
+    pub sources: Vec<SourceId>,
+    /// Number of global attributes (dense attribute indices are
+    /// `0..num_attrs`).
+    pub num_attrs: usize,
+    /// Prepared items.
+    pub items: Vec<PreparedItem>,
+    /// For every source (dense index), the list of its claims as
+    /// `(item index, candidate index)`.
+    pub claims: Vec<Vec<(usize, usize)>>,
+}
+
+/// Similarities below this floor are not stored (they contribute nothing
+/// measurable to the similarity-aware methods but would bloat the problem).
+const SIMILARITY_FLOOR: f64 = 0.05;
+
+impl FusionProblem {
+    /// Prepare `snapshot` for fusion.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let sources: Vec<SourceId> = snapshot.active_sources().into_iter().collect();
+        let source_index: BTreeMap<SourceId, usize> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (*s, i))
+            .collect();
+        let num_attrs = snapshot.schema().num_attributes();
+
+        let mut items = Vec::with_capacity(snapshot.num_items());
+        let mut claims: Vec<Vec<(usize, usize)>> = vec![Vec::new(); sources.len()];
+
+        for (item_id, _) in snapshot.items() {
+            let buckets = snapshot.buckets(*item_id);
+            if buckets.is_empty() {
+                continue;
+            }
+            let scale = snapshot.tolerance().similarity_scale(item_id.attr);
+            let mut candidates: Vec<Candidate> = buckets
+                .iter()
+                .map(|b| Candidate {
+                    value: b.representative.clone(),
+                    providers: b
+                        .providers
+                        .iter()
+                        .filter_map(|s| source_index.get(s).copied())
+                        .collect(),
+                    similar: Vec::new(),
+                    coarse_supporters: Vec::new(),
+                })
+                .collect();
+
+            // Pairwise similarity and formatting subsumption between candidates.
+            for i in 0..candidates.len() {
+                for j in 0..candidates.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let sim = candidates[i].value.similarity(&candidates[j].value, scale);
+                    if sim > SIMILARITY_FLOOR {
+                        candidates[i].similar.push((j, sim));
+                    }
+                    if candidates[j].value.subsumes(&candidates[i].value) {
+                        candidates[i].coarse_supporters.push(j);
+                    }
+                }
+            }
+
+            let item_index = items.len();
+            let mut providers: Vec<usize> = Vec::new();
+            for (cand_index, cand) in candidates.iter().enumerate() {
+                for &s in &cand.providers {
+                    claims[s].push((item_index, cand_index));
+                    providers.push(s);
+                }
+            }
+            providers.sort_unstable();
+            providers.dedup();
+
+            items.push(PreparedItem {
+                id: *item_id,
+                attr: item_id.attr.index(),
+                candidates,
+                providers,
+            });
+        }
+
+        Self {
+            sources,
+            num_attrs,
+            items,
+            claims,
+        }
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of prepared items.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total number of claims.
+    pub fn num_claims(&self) -> usize {
+        self.claims.iter().map(Vec::len).sum()
+    }
+
+    /// Dense index of a source id, if it is part of the problem.
+    pub fn source_index(&self, source: SourceId) -> Option<usize> {
+        self.sources.iter().position(|s| *s == source)
+    }
+
+    /// Turn a per-item candidate selection into an item → value mapping.
+    pub fn selection_to_values(&self, selection: &[usize]) -> BTreeMap<ItemId, Value> {
+        self.items
+            .iter()
+            .zip(selection)
+            .map(|(item, &cand)| {
+                let idx = cand.min(item.candidates.len().saturating_sub(1));
+                (item.id, item.candidates[idx].value.clone())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrId, AttrKind, DomainSchema, ObjectId, SnapshotBuilder, Value};
+    use std::sync::Arc;
+
+    fn snapshot() -> datamodel::Snapshot {
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("price", AttrKind::Numeric { scale: 100.0 }, false);
+        schema.add_attribute("volume", AttrKind::Numeric { scale: 1e6 }, false);
+        for i in 0..4 {
+            schema.add_source(format!("s{i}"), false);
+        }
+        let mut b = SnapshotBuilder::new(0);
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(2), ObjectId(0), AttrId(0), Value::number(105.0));
+        // Volume: one exact, one rounded to millions that subsumes it.
+        b.add(SourceId(0), ObjectId(0), AttrId(1), Value::number(7_528_396.0));
+        b.add(
+            SourceId(3),
+            ObjectId(0),
+            AttrId(1),
+            Value::rounded_number(8_000_000.0, 1_000_000.0),
+        );
+        b.build(Arc::new(schema))
+    }
+
+    #[test]
+    fn preparation_counts() {
+        let problem = FusionProblem::from_snapshot(&snapshot());
+        assert_eq!(problem.num_sources(), 4);
+        assert_eq!(problem.num_items(), 2);
+        assert_eq!(problem.num_claims(), 5);
+        assert_eq!(problem.num_attrs, 2);
+    }
+
+    #[test]
+    fn candidates_ordered_by_support() {
+        let problem = FusionProblem::from_snapshot(&snapshot());
+        let price_item = problem
+            .items
+            .iter()
+            .find(|i| i.id.attr == AttrId(0))
+            .unwrap();
+        assert_eq!(price_item.candidates.len(), 2);
+        assert_eq!(price_item.candidates[0].providers.len(), 2);
+        assert_eq!(price_item.candidates[1].providers.len(), 1);
+        assert_eq!(price_item.num_providers(), 3);
+    }
+
+    #[test]
+    fn similarity_and_formatting_links() {
+        let problem = FusionProblem::from_snapshot(&snapshot());
+        let price_item = problem
+            .items
+            .iter()
+            .find(|i| i.id.attr == AttrId(0))
+            .unwrap();
+        // 100.0 and 105.0 are similar numeric values.
+        assert!(!price_item.candidates[0].similar.is_empty());
+
+        let volume_item = problem
+            .items
+            .iter()
+            .find(|i| i.id.attr == AttrId(1))
+            .unwrap();
+        // The exact value is subsumed by the rounded one.
+        let fine = volume_item
+            .candidates
+            .iter()
+            .position(|c| c.value == Value::number(7_528_396.0))
+            .unwrap();
+        assert!(!volume_item.candidates[fine].coarse_supporters.is_empty());
+    }
+
+    #[test]
+    fn claims_are_indexed_per_source() {
+        let problem = FusionProblem::from_snapshot(&snapshot());
+        let s0 = problem.source_index(SourceId(0)).unwrap();
+        assert_eq!(problem.claims[s0].len(), 2);
+        let s3 = problem.source_index(SourceId(3)).unwrap();
+        assert_eq!(problem.claims[s3].len(), 1);
+        assert_eq!(problem.source_index(SourceId(9)), None);
+    }
+
+    #[test]
+    fn selection_round_trip() {
+        let problem = FusionProblem::from_snapshot(&snapshot());
+        let selection = vec![0; problem.num_items()];
+        let values = problem.selection_to_values(&selection);
+        assert_eq!(values.len(), 2);
+        assert_eq!(
+            values[&ItemId::new(ObjectId(0), AttrId(0))],
+            Value::number(100.0)
+        );
+    }
+}

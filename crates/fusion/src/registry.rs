@@ -1,0 +1,126 @@
+//! Registry of the sixteen paper methods, in Table-7 order.
+
+use crate::methods::{
+    Accu, AccuCopy, AvgLog, Cosine, FusionMethod, Hub, Invest, PooledInvest, ThreeEstimates,
+    TruthFinder, TwoEstimates, Vote,
+};
+
+/// The five method categories of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodCategory {
+    /// The basic voting strategy.
+    Baseline,
+    /// Methods inspired by measuring web-page authority from link analysis.
+    WebLink,
+    /// Methods inspired by Information-Retrieval similarity measures.
+    IrBased,
+    /// Methods based on Bayesian analysis.
+    Bayesian,
+    /// Methods that discount votes from copied values.
+    CopyingAffected,
+}
+
+impl MethodCategory {
+    /// Human-readable label as used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodCategory::Baseline => "Baseline",
+            MethodCategory::WebLink => "Web-link based",
+            MethodCategory::IrBased => "IR based",
+            MethodCategory::Bayesian => "Bayesian based",
+            MethodCategory::CopyingAffected => "Copying affected",
+        }
+    }
+}
+
+/// All sixteen fusion methods evaluated in the paper, in Table-7 order,
+/// together with their category.
+pub fn all_methods() -> Vec<(MethodCategory, Box<dyn FusionMethod>)> {
+    vec![
+        (MethodCategory::Baseline, Box::new(Vote) as Box<dyn FusionMethod>),
+        (MethodCategory::WebLink, Box::new(Hub)),
+        (MethodCategory::WebLink, Box::new(AvgLog)),
+        (MethodCategory::WebLink, Box::new(Invest::default())),
+        (MethodCategory::WebLink, Box::new(PooledInvest::default())),
+        (MethodCategory::IrBased, Box::new(TwoEstimates)),
+        (MethodCategory::IrBased, Box::new(ThreeEstimates)),
+        (MethodCategory::IrBased, Box::new(Cosine::default())),
+        (MethodCategory::Bayesian, Box::new(TruthFinder::default())),
+        (MethodCategory::Bayesian, Box::new(Accu::accupr())),
+        (MethodCategory::Bayesian, Box::new(Accu::popaccu())),
+        (MethodCategory::Bayesian, Box::new(Accu::accusim())),
+        (MethodCategory::Bayesian, Box::new(Accu::accuformat())),
+        (MethodCategory::Bayesian, Box::new(Accu::accusim_attr())),
+        (MethodCategory::Bayesian, Box::new(Accu::accuformat_attr())),
+        (MethodCategory::CopyingAffected, Box::new(AccuCopy::default())),
+    ]
+}
+
+/// Look a method up by its (case-insensitive) paper name, e.g. `"AccuCopy"`,
+/// `"2-Estimates"`, `"Vote"`.
+pub fn method_by_name(name: &str) -> Option<Box<dyn FusionMethod>> {
+    all_methods()
+        .into_iter()
+        .map(|(_, m)| m)
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_sixteen_methods_with_unique_names() {
+        let methods = all_methods();
+        assert_eq!(methods.len(), 16);
+        let names: std::collections::HashSet<String> =
+            methods.iter().map(|(_, m)| m.name()).collect();
+        assert_eq!(names.len(), 16);
+        // Spot-check the paper names.
+        for expected in [
+            "Vote",
+            "Hub",
+            "AvgLog",
+            "Invest",
+            "PooledInvest",
+            "2-Estimates",
+            "3-Estimates",
+            "Cosine",
+            "TruthFinder",
+            "AccuPr",
+            "PopAccu",
+            "AccuSim",
+            "AccuFormat",
+            "AccuSimAttr",
+            "AccuFormatAttr",
+            "AccuCopy",
+        ] {
+            assert!(names.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn category_counts_match_table_6() {
+        let methods = all_methods();
+        let count = |cat: MethodCategory| methods.iter().filter(|(c, _)| *c == cat).count();
+        assert_eq!(count(MethodCategory::Baseline), 1);
+        assert_eq!(count(MethodCategory::WebLink), 4);
+        assert_eq!(count(MethodCategory::IrBased), 3);
+        assert_eq!(count(MethodCategory::Bayesian), 7);
+        assert_eq!(count(MethodCategory::CopyingAffected), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(method_by_name("accucopy").is_some());
+        assert!(method_by_name("VOTE").is_some());
+        assert!(method_by_name("AccuFormatAttr").is_some());
+        assert!(method_by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(MethodCategory::Baseline.label(), "Baseline");
+        assert_eq!(MethodCategory::CopyingAffected.label(), "Copying affected");
+    }
+}

@@ -1,0 +1,244 @@
+//! Options, trust estimates, and results shared by all fusion methods.
+
+use crate::problem::FusionProblem;
+use datamodel::{ItemId, Value};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Options controlling a fusion run.
+#[derive(Debug, Clone, Default)]
+pub struct FusionOptions {
+    /// Maximum number of iterative rounds (ignored by VOTE).
+    pub max_rounds: usize,
+    /// Convergence threshold on the L∞ change of source trust between rounds.
+    pub epsilon: f64,
+    /// Sampled source trustworthiness supplied as input, indexed like
+    /// `FusionProblem::sources`. When present the method uses it directly and
+    /// performs a single vote-and-select pass — the paper's "precision with
+    /// trust" columns.
+    pub input_trust: Option<Vec<f64>>,
+    /// Distinguish trustworthiness per attribute (the `*ATTR` variants).
+    pub per_attribute_trust: bool,
+    /// Known copy probabilities per unordered dense source-index pair, fed to
+    /// copy-aware methods instead of running detection (the paper's
+    /// "ignore copiers of Table 5" oracle experiments).
+    pub known_copy_probabilities: Option<BTreeMap<(usize, usize), f64>>,
+}
+
+impl FusionOptions {
+    /// Default options: at most 20 rounds, ε = 1e-4, no input trust.
+    pub fn standard() -> Self {
+        Self {
+            max_rounds: 20,
+            epsilon: 1e-4,
+            input_trust: None,
+            per_attribute_trust: false,
+            known_copy_probabilities: None,
+        }
+    }
+
+    /// Enable per-attribute trust.
+    pub fn with_per_attribute_trust(mut self) -> Self {
+        self.per_attribute_trust = true;
+        self
+    }
+
+    /// Provide sampled trust as input.
+    pub fn with_input_trust(mut self, trust: Vec<f64>) -> Self {
+        self.input_trust = Some(trust);
+        self
+    }
+
+    /// Provide known copy probabilities (dense source-index pairs).
+    pub fn with_known_copying(mut self, probs: BTreeMap<(usize, usize), f64>) -> Self {
+        self.known_copy_probabilities = Some(probs);
+        self
+    }
+
+    /// Effective maximum number of rounds (at least one).
+    pub fn rounds(&self) -> usize {
+        self.max_rounds.max(1)
+    }
+}
+
+/// Final trust estimates of a fusion run.
+#[derive(Debug, Clone)]
+pub struct TrustEstimate {
+    /// Per-source trust, indexed like `FusionProblem::sources`.
+    pub overall: Vec<f64>,
+    /// Per-(source, attribute) trust for the `*ATTR` variants, indexed
+    /// `[source][attribute]`.
+    pub per_attr: Option<Vec<Vec<f64>>>,
+}
+
+impl TrustEstimate {
+    /// A uniform estimate (used as the starting point of iteration).
+    pub fn uniform(num_sources: usize, num_attrs: usize, value: f64, per_attr: bool) -> Self {
+        Self {
+            overall: vec![value; num_sources],
+            per_attr: per_attr.then(|| vec![vec![value; num_attrs]; num_sources]),
+        }
+    }
+
+    /// Trust of `source` when voting on attribute `attr`.
+    #[inline]
+    pub fn of(&self, source: usize, attr: usize) -> f64 {
+        match &self.per_attr {
+            Some(pa) => pa[source][attr],
+            None => self.overall[source],
+        }
+    }
+
+    /// L∞ distance between two estimates' overall vectors (convergence check).
+    pub fn max_change(&self, other: &TrustEstimate) -> f64 {
+        self.overall
+            .iter()
+            .zip(&other.overall)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The outcome of running one fusion method on one prepared snapshot.
+#[derive(Debug, Clone)]
+pub struct FusionResult {
+    /// Name of the method that produced the result.
+    pub method: String,
+    /// Selected value per data item.
+    pub selected: BTreeMap<ItemId, Value>,
+    /// Per-item selected candidate index (aligned with
+    /// `FusionProblem::items`).
+    pub selection: Vec<usize>,
+    /// Final trust estimates.
+    pub trust: TrustEstimate,
+    /// Number of iterative rounds executed.
+    pub rounds: usize,
+    /// Wall-clock execution time of the method (excluding problem
+    /// preparation).
+    pub elapsed: Duration,
+}
+
+impl FusionResult {
+    /// Build a result from a per-item candidate selection.
+    pub fn from_selection(
+        method: &str,
+        problem: &FusionProblem,
+        selection: Vec<usize>,
+        trust: TrustEstimate,
+        rounds: usize,
+        elapsed: Duration,
+    ) -> Self {
+        let selected = problem.selection_to_values(&selection);
+        Self {
+            method: method.to_string(),
+            selected,
+            selection,
+            trust,
+            rounds,
+            elapsed,
+        }
+    }
+
+    /// The value selected for `item`, if the item was part of the problem.
+    pub fn value_for(&self, item: ItemId) -> Option<&Value> {
+        self.selected.get(&item)
+    }
+}
+
+/// Select, for every item, the candidate with the highest vote. Ties go to the
+/// lower candidate index (the better-supported bucket), which keeps the
+/// output deterministic.
+pub fn argmax_selection(votes: &[Vec<f64>]) -> Vec<usize> {
+    votes
+        .iter()
+        .map(|item_votes| {
+            let mut best = 0usize;
+            let mut best_vote = f64::NEG_INFINITY;
+            for (i, &v) in item_votes.iter().enumerate() {
+                if v > best_vote + 1e-12 {
+                    best = i;
+                    best_vote = v;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Normalize a slice in place by its maximum (no-op when the maximum is not
+/// positive). Used by the web-link methods to prevent unbounded growth.
+pub fn normalize_by_max(xs: &mut [f64]) {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= max;
+        }
+    }
+}
+
+/// Affine rescaling of a slice to `[0, 1]` (the normalization 2-ESTIMATES and
+/// 3-ESTIMATES require). Constant slices map to 0.5.
+pub fn rescale_to_unit(xs: &mut [f64]) {
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() {
+        return;
+    }
+    let range = max - min;
+    for x in xs.iter_mut() {
+        *x = if range > 1e-12 { (*x - min) / range } else { 0.5 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builders() {
+        let opts = FusionOptions::standard()
+            .with_per_attribute_trust()
+            .with_input_trust(vec![0.9, 0.8]);
+        assert!(opts.per_attribute_trust);
+        assert_eq!(opts.input_trust.as_ref().unwrap().len(), 2);
+        assert_eq!(opts.rounds(), 20);
+        assert_eq!(FusionOptions::default().rounds(), 1);
+    }
+
+    #[test]
+    fn trust_estimate_lookup() {
+        let mut t = TrustEstimate::uniform(2, 3, 0.8, true);
+        t.per_attr.as_mut().unwrap()[1][2] = 0.3;
+        assert_eq!(t.of(0, 0), 0.8);
+        assert_eq!(t.of(1, 2), 0.3);
+        let flat = TrustEstimate::uniform(2, 3, 0.5, false);
+        assert_eq!(flat.of(1, 2), 0.5);
+        assert!((t.max_change(&flat) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_is_deterministic_on_ties() {
+        let votes = vec![vec![1.0, 1.0, 0.5], vec![0.1, 0.9]];
+        assert_eq!(argmax_selection(&votes), vec![0, 1]);
+        assert_eq!(argmax_selection(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn normalization_helpers() {
+        let mut xs = vec![2.0, 4.0, 1.0];
+        normalize_by_max(&mut xs);
+        assert_eq!(xs, vec![0.5, 1.0, 0.25]);
+
+        let mut ys = vec![2.0, 4.0, 6.0];
+        rescale_to_unit(&mut ys);
+        assert_eq!(ys, vec![0.0, 0.5, 1.0]);
+
+        let mut flat = vec![3.0, 3.0];
+        rescale_to_unit(&mut flat);
+        assert_eq!(flat, vec![0.5, 0.5]);
+
+        let mut zeros = vec![0.0, -1.0];
+        normalize_by_max(&mut zeros);
+        assert_eq!(zeros, vec![0.0, -1.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Source accuracy and its stability over time (Section 3.3, Figure 8,
+//! Table 4).
+//!
+//! The accuracy of a source is the fraction of its provided values that agree
+//! with the gold standard, over the items the gold standard covers; coverage
+//! is the fraction of gold items the source provides. Accuracy deviation is
+//! the standard deviation of a source's accuracy across the collection days.
+
+use datamodel::{stddev, Collection, GoldStandard, Snapshot, SourceId};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Accuracy and coverage of one source on one snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct SourceAccuracy {
+    /// The source.
+    pub source: SourceId,
+    /// Source name.
+    pub name: String,
+    /// Whether the source is flagged as authoritative in the schema.
+    pub authority: bool,
+    /// Fraction of gold-covered provided items whose value matches the gold
+    /// standard. `None` when the source provides no gold-covered item.
+    pub accuracy: Option<f64>,
+    /// Fraction of gold items the source provides.
+    pub coverage: f64,
+    /// Number of gold-covered items the source provides.
+    pub judged_items: usize,
+}
+
+/// Accuracy of one source across the days of a collection.
+#[derive(Debug, Clone, Serialize)]
+pub struct SourceAccuracyOverTime {
+    /// The source.
+    pub source: SourceId,
+    /// Source name.
+    pub name: String,
+    /// Per-day accuracy (days where the source provides no gold item are
+    /// skipped).
+    pub daily_accuracy: Vec<f64>,
+    /// Mean accuracy over the period.
+    pub mean_accuracy: f64,
+    /// Standard deviation of the accuracy over the period (Figure 8(b)).
+    pub accuracy_deviation: f64,
+}
+
+/// Accuracy and coverage of one source on one snapshot.
+pub fn source_accuracy(
+    snapshot: &Snapshot,
+    gold: &GoldStandard,
+    source: SourceId,
+) -> SourceAccuracy {
+    let info = snapshot.schema().source(source);
+    let mut judged = 0usize;
+    let mut correct = 0usize;
+    let mut provided_gold_items = 0usize;
+    for (item, truth) in gold.iter() {
+        if let Some(value) = snapshot.value_of(source, *item) {
+            provided_gold_items += 1;
+            let tol = snapshot.tolerance().tolerance(item.attr);
+            judged += 1;
+            if truth.matches(value, tol) || value.subsumes(truth) {
+                correct += 1;
+            }
+        }
+    }
+    SourceAccuracy {
+        source,
+        name: info.name.clone(),
+        authority: info.authority,
+        accuracy: if judged == 0 {
+            None
+        } else {
+            Some(correct as f64 / judged as f64)
+        },
+        coverage: provided_gold_items as f64 / gold.len().max(1) as f64,
+        judged_items: judged,
+    }
+}
+
+/// Accuracy and coverage of every active source of the snapshot.
+pub fn source_accuracies(snapshot: &Snapshot, gold: &GoldStandard) -> Vec<SourceAccuracy> {
+    snapshot
+        .active_sources()
+        .into_iter()
+        .map(|s| source_accuracy(snapshot, gold, s))
+        .collect()
+}
+
+/// Distribution of source accuracies over the Figure-8(a) bins
+/// `[0,.1), [.1,.2), ..., [.9,1]`.
+pub fn accuracy_histogram(accuracies: &[SourceAccuracy]) -> Vec<f64> {
+    let values: Vec<f64> = accuracies.iter().filter_map(|a| a.accuracy).collect();
+    let n = values.len().max(1) as f64;
+    let mut bins = vec![0.0; 10];
+    for v in values {
+        let idx = ((v * 10.0).floor() as usize).min(9);
+        bins[idx] += 1.0 / n;
+    }
+    bins
+}
+
+/// Per-source accuracy trajectory over a collection (Figure 8(b)).
+pub fn accuracy_over_time(collection: &Collection) -> Vec<SourceAccuracyOverTime> {
+    let mut daily: BTreeMap<SourceId, Vec<f64>> = BTreeMap::new();
+    let mut names: BTreeMap<SourceId, String> = BTreeMap::new();
+    for day in collection.days() {
+        for acc in source_accuracies(&day.snapshot, &day.gold) {
+            names.entry(acc.source).or_insert_with(|| acc.name.clone());
+            if let Some(a) = acc.accuracy {
+                daily.entry(acc.source).or_default().push(a);
+            }
+        }
+    }
+    daily
+        .into_iter()
+        .map(|(source, daily_accuracy)| {
+            let mean = datamodel::mean(&daily_accuracy);
+            let deviation = stddev(&daily_accuracy);
+            SourceAccuracyOverTime {
+                source,
+                name: names.get(&source).cloned().unwrap_or_default(),
+                daily_accuracy,
+                mean_accuracy: mean,
+                accuracy_deviation: deviation,
+            }
+        })
+        .collect()
+}
+
+/// Table 4: accuracy and coverage of the authoritative sources only.
+pub fn authority_report(snapshot: &Snapshot, gold: &GoldStandard) -> Vec<SourceAccuracy> {
+    source_accuracies(snapshot, gold)
+        .into_iter()
+        .filter(|a| a.authority)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrId, AttrKind, DomainSchema, ItemId, ObjectId, SnapshotBuilder, Value};
+    use std::sync::Arc;
+
+    fn setup() -> (Snapshot, GoldStandard) {
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("price", AttrKind::Numeric { scale: 100.0 }, false);
+        schema.add_source("good", true);
+        schema.add_source("bad", false);
+        schema.add_source("sparse", false);
+        let mut b = SnapshotBuilder::new(0);
+        for obj in 0..4 {
+            b.add(SourceId(0), ObjectId(obj), AttrId(0), Value::number(100.0));
+            // "bad" is wrong on half of the items.
+            let bad_value = if obj % 2 == 0 { 100.0 } else { 170.0 };
+            b.add(SourceId(1), ObjectId(obj), AttrId(0), Value::number(bad_value));
+        }
+        b.add(SourceId(2), ObjectId(0), AttrId(0), Value::number(100.0));
+        let snap = b.build(Arc::new(schema));
+        let mut gold = GoldStandard::new();
+        for obj in 0..4 {
+            gold.insert(ItemId::new(ObjectId(obj), AttrId(0)), Value::number(100.0));
+        }
+        (snap, gold)
+    }
+
+    #[test]
+    fn accuracy_and_coverage() {
+        let (snap, gold) = setup();
+        let good = source_accuracy(&snap, &gold, SourceId(0));
+        assert_eq!(good.accuracy, Some(1.0));
+        assert_eq!(good.coverage, 1.0);
+        assert!(good.authority);
+
+        let bad = source_accuracy(&snap, &gold, SourceId(1));
+        assert_eq!(bad.accuracy, Some(0.5));
+
+        let sparse = source_accuracy(&snap, &gold, SourceId(2));
+        assert_eq!(sparse.accuracy, Some(1.0));
+        assert!((sparse.coverage - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unjudged_source_has_no_accuracy() {
+        let (snap, _) = setup();
+        let empty = GoldStandard::new();
+        let a = source_accuracy(&snap, &empty, SourceId(0));
+        assert_eq!(a.accuracy, None);
+        assert_eq!(a.judged_items, 0);
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let (snap, gold) = setup();
+        let accs = source_accuracies(&snap, &gold);
+        let hist = accuracy_histogram(&accs);
+        assert_eq!(hist.len(), 10);
+        assert!((hist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // One source at 0.5 (bin 5), two at 1.0 (bin 9).
+        assert!((hist[5] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((hist[9] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn authority_report_filters() {
+        let (snap, gold) = setup();
+        let report = authority_report(&snap, &gold);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].name, "good");
+    }
+
+    #[test]
+    fn over_time_deviation() {
+        let (snap, gold) = setup();
+        let mut collection = Collection::new(snap.schema_arc());
+        collection.push_day(snap.clone(), gold.clone(), GoldStandard::new());
+        collection.push_day(snap, gold, GoldStandard::new());
+        let over_time = accuracy_over_time(&collection);
+        assert_eq!(over_time.len(), 3);
+        for s in &over_time {
+            assert_eq!(s.daily_accuracy.len(), 2);
+            assert!(s.accuracy_deviation.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Commonality statistics of copy groups (Section 3.4, Table 5).
+//!
+//! For each group of sources suspected (or known) to copy from one another,
+//! the paper reports the average pairwise Jaccard similarity of their
+//! provided attribute sets (schema commonality) and object sets (object
+//! commonality), the average fraction of equal values on shared data items
+//! (value commonality), and the average source accuracy.
+
+use datamodel::{GoldStandard, Snapshot, SourceId};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Table-5 statistics of one copy group.
+#[derive(Debug, Clone, Serialize)]
+pub struct CopyGroupStats {
+    /// The sources in the group.
+    pub sources: Vec<SourceId>,
+    /// Group size.
+    pub size: usize,
+    /// Average pairwise Jaccard similarity of provided attribute sets.
+    pub schema_commonality: f64,
+    /// Average pairwise Jaccard similarity of provided object sets.
+    pub object_commonality: f64,
+    /// Average fraction of equal values over shared data items.
+    pub value_commonality: f64,
+    /// Average accuracy of the group's sources against the gold standard.
+    pub average_accuracy: f64,
+}
+
+fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.union(b).count();
+    inter as f64 / union.max(1) as f64
+}
+
+/// Compute the Table-5 statistics for one group of sources.
+pub fn copy_group_stats(
+    snapshot: &Snapshot,
+    gold: &GoldStandard,
+    group: &[SourceId],
+) -> CopyGroupStats {
+    let attr_sets: Vec<BTreeSet<_>> = group
+        .iter()
+        .map(|s| snapshot.attrs_of_source(*s))
+        .collect();
+    let object_sets: Vec<BTreeSet<_>> = group
+        .iter()
+        .map(|s| snapshot.objects_of_source(*s))
+        .collect();
+
+    let mut schema_sims = Vec::new();
+    let mut object_sims = Vec::new();
+    let mut value_sims = Vec::new();
+    for i in 0..group.len() {
+        for j in (i + 1)..group.len() {
+            schema_sims.push(jaccard(&attr_sets[i], &attr_sets[j]));
+            object_sims.push(jaccard(&object_sets[i], &object_sets[j]));
+            value_sims.push(value_commonality(snapshot, group[i], group[j]));
+        }
+    }
+
+    let accuracies: Vec<f64> = group
+        .iter()
+        .filter_map(|s| crate::accuracy::source_accuracy(snapshot, gold, *s).accuracy)
+        .collect();
+
+    CopyGroupStats {
+        sources: group.to_vec(),
+        size: group.len(),
+        schema_commonality: datamodel::mean(&schema_sims),
+        object_commonality: datamodel::mean(&object_sims),
+        value_commonality: datamodel::mean(&value_sims),
+        average_accuracy: datamodel::mean(&accuracies),
+    }
+}
+
+/// Fraction of equal values over the data items both sources provide.
+pub fn value_commonality(snapshot: &Snapshot, a: SourceId, b: SourceId) -> f64 {
+    let mut shared = 0usize;
+    let mut equal = 0usize;
+    for (item, obs) in snapshot.items() {
+        let va = obs.iter().find(|o| o.source == a).map(|o| &o.value);
+        let vb = obs.iter().find(|o| o.source == b).map(|o| &o.value);
+        if let (Some(va), Some(vb)) = (va, vb) {
+            shared += 1;
+            let tol = snapshot.tolerance().tolerance(item.attr);
+            if va.matches(vb, tol) {
+                equal += 1;
+            }
+        }
+    }
+    if shared == 0 {
+        0.0
+    } else {
+        equal as f64 / shared as f64
+    }
+}
+
+/// Compute Table-5 statistics for every group.
+pub fn all_copy_group_stats(
+    snapshot: &Snapshot,
+    gold: &GoldStandard,
+    groups: &[Vec<SourceId>],
+) -> Vec<CopyGroupStats> {
+    groups
+        .iter()
+        .map(|g| copy_group_stats(snapshot, gold, g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{flight_config, generate};
+
+    #[test]
+    fn planted_copy_groups_have_high_commonality() {
+        let domain = generate(&flight_config(3).scaled(0.1, 0.06));
+        let snap = domain.reference_snapshot();
+        let gold = domain.reference_gold();
+        let stats = all_copy_group_stats(snap, gold, &domain.copy_groups);
+        assert_eq!(stats.len(), 5);
+        for s in &stats {
+            assert!(s.size >= 2);
+            assert!(
+                s.object_commonality > 0.9,
+                "object commonality {} too low",
+                s.object_commonality
+            );
+            assert!(
+                s.value_commonality > 0.95,
+                "value commonality {} too low",
+                s.value_commonality
+            );
+            assert!(s.schema_commonality > 0.5);
+        }
+        // The low-accuracy redirect group must show up as such.
+        let min_acc = stats
+            .iter()
+            .map(|s| s.average_accuracy)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_acc < 0.8, "lowest group accuracy {min_acc}");
+    }
+
+    #[test]
+    fn jaccard_edge_cases() {
+        let empty: BTreeSet<u32> = BTreeSet::new();
+        let set: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&set, &empty), 0.0);
+        assert_eq!(jaccard(&set, &set), 1.0);
+    }
+
+    #[test]
+    fn unrelated_sources_have_lower_value_commonality() {
+        let domain = generate(&flight_config(3).scaled(0.1, 0.06));
+        let snap = domain.reference_snapshot();
+        // Compare a copy pair against an unrelated pair.
+        let group = &domain.copy_groups[1]; // the low-accuracy redirect group
+        let copier_sim = value_commonality(snap, group[0], group[1]);
+        // Two independent low-quality sources.
+        let sources: Vec<_> = snap.active_sources().into_iter().collect();
+        let a = sources[sources.len() - 1];
+        let b = sources[sources.len() - 3];
+        let independent_sim = value_commonality(snap, a, b);
+        assert!(copier_sim > independent_sim);
+    }
+}

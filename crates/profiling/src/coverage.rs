@@ -1,0 +1,83 @@
+//! Attribute-coverage distribution (Section 2.2, Figure 1).
+//!
+//! Figure 1 plots, for increasing source-count thresholds, the percentage of
+//! global attributes provided by more than that many sources. The generator
+//! supplies the per-attribute provider counts (for all global attributes, not
+//! only the considered ones); this module turns them into the Figure-1
+//! series and the summary fractions quoted in the paper's text.
+
+use serde::Serialize;
+
+/// One point of the Figure-1 series.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CoveragePoint {
+    /// Source-count threshold ("more than N sources").
+    pub min_sources: u32,
+    /// Fraction of global attributes provided by more than `min_sources`
+    /// sources.
+    pub fraction_of_attributes: f64,
+}
+
+/// The Figure-1 series for the given provider counts and thresholds.
+pub fn attribute_coverage_cdf(provider_counts: &[u32], thresholds: &[u32]) -> Vec<CoveragePoint> {
+    let total = provider_counts.len().max(1) as f64;
+    thresholds
+        .iter()
+        .map(|&min_sources| CoveragePoint {
+            min_sources,
+            fraction_of_attributes: provider_counts
+                .iter()
+                .filter(|&&c| c > min_sources)
+                .count() as f64
+                / total,
+        })
+        .collect()
+}
+
+/// The thresholds Figure 1 uses: more than 5, 10, 20, 30, 40, 50 sources.
+pub fn default_thresholds() -> Vec<u32> {
+    vec![5, 10, 20, 30, 40, 50]
+}
+
+/// Fraction of attributes provided by at least `fraction` of the `num_sources`
+/// sources (the paper quotes e.g. "21 attributes (13.7%) are provided by at
+/// least one third of the sources").
+pub fn fraction_covered_by(provider_counts: &[u32], num_sources: usize, fraction: f64) -> f64 {
+    let threshold = (num_sources as f64 * fraction).ceil() as u32;
+    provider_counts.iter().filter(|&&c| c >= threshold).count() as f64
+        / provider_counts.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_counts_strictly_above_threshold() {
+        let counts = vec![55, 40, 30, 10, 5, 2, 2, 1];
+        let cdf = attribute_coverage_cdf(&counts, &[5, 10, 20, 30, 40, 50]);
+        assert_eq!(cdf.len(), 6);
+        assert!((cdf[0].fraction_of_attributes - 4.0 / 8.0).abs() < 1e-12); // > 5
+        assert!((cdf[1].fraction_of_attributes - 3.0 / 8.0).abs() < 1e-12); // > 10
+        assert!((cdf[5].fraction_of_attributes - 1.0 / 8.0).abs() < 1e-12); // > 50
+        // Monotone non-increasing.
+        for w in cdf.windows(2) {
+            assert!(w[0].fraction_of_attributes >= w[1].fraction_of_attributes);
+        }
+    }
+
+    #[test]
+    fn fraction_covered_matches_paper_style_quote() {
+        // 4 attrs out of 8 covered by at least one third of 55 sources (≥ 19).
+        let counts = vec![55, 40, 30, 19, 18, 2, 2, 1];
+        let f = fraction_covered_by(&counts, 55, 1.0 / 3.0);
+        assert!((f - 4.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let cdf = attribute_coverage_cdf(&[], &default_thresholds());
+        assert!(cdf.iter().all(|p| p.fraction_of_attributes == 0.0));
+        assert_eq!(fraction_covered_by(&[], 10, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dominant-value analysis (Section 3.2, Figure 7, Figure 8(c)).
+//!
+//! The dominant value of an item is the bucketed value with the largest
+//! number of providers. The paper measures the distribution of *dominance
+//! factors* (the fraction of an item's providers supporting the dominant
+//! value) and the precision of dominant values — overall, per dominance-
+//! factor bin, and over time. Choosing dominant values is exactly the VOTE
+//! fusion strategy, so [`dominant_value_precision`] is also VOTE's precision.
+
+use datamodel::{Collection, GoldStandard, ItemId, Snapshot};
+use serde::Serialize;
+
+/// Dominance information of one data item.
+#[derive(Debug, Clone, Serialize)]
+pub struct ItemDominance {
+    /// The data item.
+    pub item: ItemId,
+    /// Dominance factor F(d) = |S̄(d, v0)| / |S̄(d)|.
+    pub factor: f64,
+    /// Whether the dominant value agrees with the gold standard (`None` when
+    /// the gold standard does not cover the item).
+    pub dominant_correct: Option<bool>,
+}
+
+/// One dominance-factor bin of Figure 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct DominanceBucket {
+    /// Lower edge of the bin (bins are `[lo, lo + 0.1)`, the last one
+    /// includes 1.0).
+    pub factor_low: f64,
+    /// Fraction of items whose dominance factor falls in this bin.
+    pub fraction_of_items: f64,
+    /// Precision of dominant values among the gold-covered items of the bin.
+    pub precision: f64,
+    /// Number of gold-covered items in the bin.
+    pub gold_items: usize,
+}
+
+/// Full dominance profile of a snapshot (both plots of Figure 7).
+#[derive(Debug, Clone, Serialize)]
+pub struct DominanceProfile {
+    /// Per-bin distribution and precision.
+    pub buckets: Vec<DominanceBucket>,
+    /// Overall precision of dominant values on gold-covered items.
+    pub overall_precision: f64,
+    /// Fraction of items with dominance factor above 0.5.
+    pub fraction_above_half: f64,
+    /// Fraction of items with dominance factor above 0.9.
+    pub fraction_above_09: f64,
+}
+
+/// Dominance information for every item of the snapshot.
+pub fn item_dominances(snapshot: &Snapshot, gold: &GoldStandard) -> Vec<ItemDominance> {
+    snapshot
+        .item_ids()
+        .map(|item| {
+            let buckets = snapshot.buckets(item);
+            let total: usize = buckets.iter().map(|b| b.support()).sum();
+            let dominant = buckets.first();
+            let factor = dominant
+                .map(|b| b.support() as f64 / total.max(1) as f64)
+                .unwrap_or(0.0);
+            let dominant_correct = dominant
+                .and_then(|b| gold.judge(snapshot, item, &b.representative));
+            ItemDominance {
+                item,
+                factor,
+                dominant_correct,
+            }
+        })
+        .collect()
+}
+
+/// Overall precision of dominant values on the gold-covered items — the
+/// precision of the VOTE strategy (paper: .908 Stock, .864 Flight).
+pub fn dominant_value_precision(snapshot: &Snapshot, gold: &GoldStandard) -> f64 {
+    let doms = item_dominances(snapshot, gold);
+    let judged: Vec<bool> = doms.iter().filter_map(|d| d.dominant_correct).collect();
+    if judged.is_empty() {
+        return 0.0;
+    }
+    judged.iter().filter(|c| **c).count() as f64 / judged.len() as f64
+}
+
+/// The Figure-7 profile: dominance-factor distribution and per-bin precision.
+pub fn dominance_profile(snapshot: &Snapshot, gold: &GoldStandard) -> DominanceProfile {
+    let doms = item_dominances(snapshot, gold);
+    let n = doms.len().max(1) as f64;
+    let mut buckets = Vec::with_capacity(10);
+    for bin in 0..10 {
+        let lo = bin as f64 / 10.0;
+        let hi = lo + 0.1;
+        let in_bin: Vec<&ItemDominance> = doms
+            .iter()
+            .filter(|d| d.factor >= lo && (d.factor < hi || (bin == 9 && d.factor <= 1.0)))
+            .collect();
+        let judged: Vec<bool> = in_bin.iter().filter_map(|d| d.dominant_correct).collect();
+        let precision = if judged.is_empty() {
+            0.0
+        } else {
+            judged.iter().filter(|c| **c).count() as f64 / judged.len() as f64
+        };
+        buckets.push(DominanceBucket {
+            factor_low: lo,
+            fraction_of_items: in_bin.len() as f64 / n,
+            precision,
+            gold_items: judged.len(),
+        });
+    }
+    let overall_precision = dominant_value_precision(snapshot, gold);
+    DominanceProfile {
+        overall_precision,
+        fraction_above_half: doms.iter().filter(|d| d.factor > 0.5).count() as f64 / n,
+        fraction_above_09: doms.iter().filter(|d| d.factor > 0.9).count() as f64 / n,
+        buckets,
+    }
+}
+
+/// Figure 8(c): the precision of dominant values for every day of a
+/// collection.
+pub fn dominant_precision_over_time(collection: &Collection) -> Vec<f64> {
+    collection
+        .days()
+        .map(|day| dominant_value_precision(&day.snapshot, &day.gold))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrId, AttrKind, DomainSchema, ObjectId, SnapshotBuilder, SourceId, Value};
+    use std::sync::Arc;
+
+    fn setup() -> (Snapshot, GoldStandard) {
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("price", AttrKind::Numeric { scale: 100.0 }, false);
+        for i in 0..4 {
+            schema.add_source(format!("s{i}"), false);
+        }
+        let mut b = SnapshotBuilder::new(0);
+        // Item 0: 3-vs-1, dominant value correct.
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(2), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(3), ObjectId(0), AttrId(0), Value::number(150.0));
+        // Item 1: 2-vs-2 tie, dominant (deterministically the smaller) wrong.
+        b.add(SourceId(0), ObjectId(1), AttrId(0), Value::number(40.0));
+        b.add(SourceId(1), ObjectId(1), AttrId(0), Value::number(40.0));
+        b.add(SourceId(2), ObjectId(1), AttrId(0), Value::number(80.0));
+        b.add(SourceId(3), ObjectId(1), AttrId(0), Value::number(80.0));
+        let snap = b.build(Arc::new(schema));
+        let mut gold = GoldStandard::new();
+        gold.insert(ItemId::new(ObjectId(0), AttrId(0)), Value::number(100.0));
+        gold.insert(ItemId::new(ObjectId(1), AttrId(0)), Value::number(80.0));
+        (snap, gold)
+    }
+
+    #[test]
+    fn factors_and_precision() {
+        let (snap, gold) = setup();
+        let doms = item_dominances(&snap, &gold);
+        assert_eq!(doms.len(), 2);
+        let d0 = doms
+            .iter()
+            .find(|d| d.item.object == ObjectId(0))
+            .unwrap();
+        assert!((d0.factor - 0.75).abs() < 1e-12);
+        assert_eq!(d0.dominant_correct, Some(true));
+        let d1 = doms
+            .iter()
+            .find(|d| d.item.object == ObjectId(1))
+            .unwrap();
+        assert!((d1.factor - 0.5).abs() < 1e-12);
+        assert_eq!(d1.dominant_correct, Some(false));
+        assert!((dominant_value_precision(&snap, &gold) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_bins_sum_to_one() {
+        let (snap, gold) = setup();
+        let profile = dominance_profile(&snap, &gold);
+        let total: f64 = profile.buckets.iter().map(|b| b.fraction_of_items).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((profile.overall_precision - 0.5).abs() < 1e-12);
+        assert!((profile.fraction_above_half - 0.5).abs() < 1e-12);
+        assert_eq!(profile.buckets.len(), 10);
+    }
+
+    #[test]
+    fn uncovered_items_are_excluded_from_precision() {
+        let (snap, _) = setup();
+        let empty_gold = GoldStandard::new();
+        assert_eq!(dominant_value_precision(&snap, &empty_gold), 0.0);
+        let profile = dominance_profile(&snap, &empty_gold);
+        assert!(profile.buckets.iter().all(|b| b.gold_items == 0));
+    }
+}

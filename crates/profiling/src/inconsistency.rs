@@ -1,0 +1,317 @@
+//! Value-inconsistency measurements (Section 3.2, Figure 4, Table 3).
+//!
+//! For every data item the paper measures:
+//! * the **number of different values** after bucketing,
+//! * the **entropy** of the value distribution (Equation 1),
+//! * the **deviation** of numerical values from the dominant value
+//!   (Equation 2) — relative for general numeric attributes, absolute in
+//!   minutes for time attributes.
+
+use datamodel::{entropy, AttrId, ItemId, Snapshot, Value, ValueKind};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Inconsistency measures of one data item.
+#[derive(Debug, Clone, Serialize)]
+pub struct ItemInconsistency {
+    /// The data item.
+    pub item: ItemId,
+    /// Number of providers.
+    pub num_providers: usize,
+    /// Number of different values after bucketing.
+    pub num_values: usize,
+    /// Entropy of the bucketed value distribution (Equation 1).
+    pub entropy: f64,
+    /// Deviation of the values from the dominant value (Equation 2); `None`
+    /// for non-numeric items or items with a single value.
+    pub deviation: Option<f64>,
+}
+
+/// Aggregate inconsistency of one attribute (one row of Table 3).
+#[derive(Debug, Clone, Serialize)]
+pub struct AttributeInconsistency {
+    /// The attribute.
+    pub attr: AttrId,
+    /// Attribute name.
+    pub name: String,
+    /// Mean number of values per item.
+    pub mean_num_values: f64,
+    /// Mean entropy per item.
+    pub mean_entropy: f64,
+    /// Mean deviation per item (over items where it is defined).
+    pub mean_deviation: f64,
+    /// Number of items of this attribute.
+    pub num_items: usize,
+}
+
+/// Distributions reported in Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct InconsistencyDistributions {
+    /// Histogram of the number of values: index 0 holds the fraction of items
+    /// with 1 value, ..., index 8 the fraction with 9, index 9 the fraction
+    /// with 10 or more.
+    pub num_values_histogram: Vec<f64>,
+    /// Histogram of entropy over the Figure-4 bins
+    /// `[0,.1), [.1,.2), ..., [.9,1), [1,∞)`. The first bin also counts
+    /// zero-entropy (single-value) items.
+    pub entropy_histogram: Vec<f64>,
+    /// Histogram of deviation over the Figure-4 bins (same binning as
+    /// entropy; time deviations are measured in units of 1 minute so the bins
+    /// read as `(0,1min), [1,2min), ...`).
+    pub deviation_histogram: Vec<f64>,
+    /// Fraction of items with more than one value (the paper's "70% of data
+    /// items have more than one value" headline).
+    pub fraction_conflicting: f64,
+    /// Mean number of values per item.
+    pub mean_num_values: f64,
+    /// Mean entropy per item.
+    pub mean_entropy: f64,
+    /// Mean deviation per item (where defined).
+    pub mean_deviation: f64,
+}
+
+/// Compute the inconsistency measures of one item.
+pub fn item_inconsistency(snapshot: &Snapshot, item: ItemId) -> ItemInconsistency {
+    let buckets = snapshot.buckets(item);
+    let num_providers: usize = buckets.iter().map(|b| b.support()).sum();
+    let counts: Vec<usize> = buckets.iter().map(|b| b.support()).collect();
+    let e = entropy(&counts);
+    let deviation = deviation_of(&buckets);
+    ItemInconsistency {
+        item,
+        num_providers,
+        num_values: buckets.len(),
+        entropy: e,
+        deviation,
+    }
+}
+
+/// Equation 2: root-mean-square relative deviation of each distinct value from
+/// the dominant value v0 (absolute difference in minutes for time values).
+fn deviation_of(buckets: &[datamodel::ValueBucket]) -> Option<f64> {
+    if buckets.is_empty() {
+        return None;
+    }
+    let dominant = &buckets[0].representative;
+    let kind = dominant.kind();
+    if kind == ValueKind::Text {
+        return None;
+    }
+    let v0 = dominant.as_f64()?;
+    let values: Vec<f64> = buckets
+        .iter()
+        .filter_map(|b| b.representative.as_f64())
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    let sum_sq: f64 = values
+        .iter()
+        .map(|v| match kind {
+            ValueKind::Time => (v - v0) * (v - v0),
+            _ => {
+                if v0.abs() < f64::EPSILON {
+                    0.0
+                } else {
+                    let rel = (v - v0) / v0;
+                    rel * rel
+                }
+            }
+        })
+        .sum();
+    Some((sum_sq / values.len() as f64).sqrt())
+}
+
+/// Per-item inconsistency for every item of the snapshot.
+pub fn all_item_inconsistencies(snapshot: &Snapshot) -> Vec<ItemInconsistency> {
+    snapshot
+        .item_ids()
+        .map(|item| item_inconsistency(snapshot, item))
+        .collect()
+}
+
+/// Table 3: aggregate inconsistency per attribute.
+pub fn attribute_inconsistency(snapshot: &Snapshot) -> Vec<AttributeInconsistency> {
+    let mut per_attr: BTreeMap<AttrId, Vec<ItemInconsistency>> = BTreeMap::new();
+    for inc in all_item_inconsistencies(snapshot) {
+        per_attr.entry(inc.item.attr).or_default().push(inc);
+    }
+    per_attr
+        .into_iter()
+        .map(|(attr, items)| {
+            let num_values: Vec<f64> = items.iter().map(|i| i.num_values as f64).collect();
+            let entropies: Vec<f64> = items.iter().map(|i| i.entropy).collect();
+            let deviations: Vec<f64> = items.iter().filter_map(|i| i.deviation).collect();
+            AttributeInconsistency {
+                attr,
+                name: snapshot.schema().attribute(attr).name.clone(),
+                mean_num_values: datamodel::mean(&num_values),
+                mean_entropy: datamodel::mean(&entropies),
+                mean_deviation: datamodel::mean(&deviations),
+                num_items: items.len(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 4: distributions of number-of-values, entropy, and deviation.
+pub fn snapshot_inconsistency(snapshot: &Snapshot) -> InconsistencyDistributions {
+    let items = all_item_inconsistencies(snapshot);
+    let n = items.len().max(1) as f64;
+
+    let mut num_values_histogram = vec![0.0; 10];
+    for inc in &items {
+        let idx = (inc.num_values.saturating_sub(1)).min(9);
+        num_values_histogram[idx] += 1.0 / n;
+    }
+
+    let bin_of = |x: f64| -> usize {
+        if x >= 1.0 {
+            10
+        } else {
+            (x / 0.1).floor() as usize
+        }
+    };
+    let mut entropy_histogram = vec![0.0; 11];
+    for inc in &items {
+        entropy_histogram[bin_of(inc.entropy)] += 1.0 / n;
+    }
+
+    let deviations: Vec<(f64, ValueKind)> = items
+        .iter()
+        .filter_map(|inc| {
+            inc.deviation.map(|d| {
+                let kind = snapshot
+                    .schema()
+                    .attribute(inc.item.attr)
+                    .kind
+                    .value_kind();
+                (d, kind)
+            })
+        })
+        .collect();
+    let dn = deviations.len().max(1) as f64;
+    let mut deviation_histogram = vec![0.0; 11];
+    for (d, kind) in &deviations {
+        // Time deviations are binned per minute (Figure 4's right plot).
+        let x = match kind {
+            ValueKind::Time => d / 10.0,
+            _ => *d,
+        };
+        deviation_histogram[bin_of(x)] += 1.0 / dn;
+    }
+
+    let conflicting = items.iter().filter(|i| i.num_values > 1).count() as f64 / n;
+    let nv: Vec<f64> = items.iter().map(|i| i.num_values as f64).collect();
+    let ent: Vec<f64> = items.iter().map(|i| i.entropy).collect();
+    let devs: Vec<f64> = deviations.iter().map(|(d, _)| *d).collect();
+
+    InconsistencyDistributions {
+        num_values_histogram,
+        entropy_histogram,
+        deviation_histogram,
+        fraction_conflicting: conflicting,
+        mean_num_values: datamodel::mean(&nv),
+        mean_entropy: datamodel::mean(&ent),
+        mean_deviation: datamodel::mean(&devs),
+    }
+}
+
+/// Helper for tests and experiments: the dominant (most-provided) value of an
+/// item, if any.
+pub fn dominant_value(snapshot: &Snapshot, item: ItemId) -> Option<Value> {
+    snapshot.buckets(item).first().map(|b| b.representative.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrKind, DomainSchema, ObjectId, SnapshotBuilder, SourceId};
+    use std::sync::Arc;
+
+    fn snapshot() -> Snapshot {
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("price", AttrKind::Numeric { scale: 100.0 }, false);
+        schema.add_attribute("depart", AttrKind::Time, false);
+        schema.add_attribute("gate", AttrKind::Categorical { cardinality: 10 }, false);
+        for i in 0..4 {
+            schema.add_source(format!("s{i}"), false);
+        }
+        let mut b = SnapshotBuilder::new(0);
+        // price of object 0: three agree, one off by 50%.
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(2), ObjectId(0), AttrId(0), Value::number(100.3));
+        b.add(SourceId(3), ObjectId(0), AttrId(0), Value::number(150.0));
+        // departure time of object 0: two values 30 minutes apart.
+        b.add(SourceId(0), ObjectId(0), AttrId(1), Value::time(600));
+        b.add(SourceId(1), ObjectId(0), AttrId(1), Value::time(630));
+        // gate: single value.
+        b.add(SourceId(0), ObjectId(0), AttrId(2), Value::text("B1"));
+        b.build(Arc::new(schema))
+    }
+
+    use datamodel::AttrId;
+
+    #[test]
+    fn item_measures() {
+        let snap = snapshot();
+        let inc = item_inconsistency(&snap, ItemId::new(ObjectId(0), AttrId(0)));
+        assert_eq!(inc.num_providers, 4);
+        assert_eq!(inc.num_values, 2);
+        // 3-vs-1 split entropy ≈ 0.811.
+        assert!((inc.entropy - 0.8113).abs() < 1e-3);
+        // Deviation: sqrt(((0)^2 + (0.5)^2)/2) ≈ 0.354.
+        assert!((inc.deviation.unwrap() - 0.3536).abs() < 1e-3);
+    }
+
+    #[test]
+    fn time_deviation_is_absolute_minutes() {
+        let snap = snapshot();
+        let inc = item_inconsistency(&snap, ItemId::new(ObjectId(0), AttrId(1)));
+        assert_eq!(inc.num_values, 2);
+        // Deviation = sqrt((0 + 30^2)/2) ≈ 21.2 minutes.
+        assert!((inc.deviation.unwrap() - 21.21).abs() < 0.1);
+    }
+
+    #[test]
+    fn text_items_have_no_deviation() {
+        let snap = snapshot();
+        let inc = item_inconsistency(&snap, ItemId::new(ObjectId(0), AttrId(2)));
+        assert_eq!(inc.num_values, 1);
+        assert_eq!(inc.entropy, 0.0);
+        assert!(inc.deviation.is_none());
+    }
+
+    #[test]
+    fn attribute_aggregates() {
+        let snap = snapshot();
+        let per_attr = attribute_inconsistency(&snap);
+        assert_eq!(per_attr.len(), 3);
+        let price = per_attr.iter().find(|a| a.name == "price").unwrap();
+        assert_eq!(price.num_items, 1);
+        assert!((price.mean_num_values - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let snap = snapshot();
+        let dist = snapshot_inconsistency(&snap);
+        let sum_nv: f64 = dist.num_values_histogram.iter().sum();
+        let sum_ent: f64 = dist.entropy_histogram.iter().sum();
+        assert!((sum_nv - 1.0).abs() < 1e-9);
+        assert!((sum_ent - 1.0).abs() < 1e-9);
+        assert!((dist.fraction_conflicting - 2.0 / 3.0).abs() < 1e-9);
+        assert!(dist.mean_num_values > 1.0);
+    }
+
+    #[test]
+    fn dominant_value_is_majority() {
+        let snap = snapshot();
+        assert_eq!(
+            dominant_value(&snap, ItemId::new(ObjectId(0), AttrId(0))),
+            Some(Value::number(100.0))
+        );
+        assert_eq!(dominant_value(&snap, ItemId::new(ObjectId(5), AttrId(0))), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Attribution of value inconsistency to reasons (Section 3.2, Figure 6).
+//!
+//! The paper manually inspects a sample of inconsistent data items and
+//! attributes each to a reason (semantics ambiguity, instance ambiguity,
+//! out-of-date data, unit error, pure error). With generated data the reason
+//! behind every erroneous claim is known, so the attribution can be computed
+//! exactly: every inconsistent item is labelled with the most common reason
+//! among its erroneous claims, and Figure 6 reports the distribution of those
+//! labels.
+
+use datagen::{DayProvenance, InconsistencyReason};
+use datamodel::Snapshot;
+use serde::Serialize;
+
+/// Share of inconsistent items attributed to one reason.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReasonShare {
+    /// Human-readable reason label.
+    pub reason: String,
+    /// Fraction of inconsistent items attributed to this reason.
+    pub share: f64,
+    /// Number of inconsistent items attributed to this reason.
+    pub items: usize,
+}
+
+/// Figure 6: distribution of inconsistency reasons over the inconsistent
+/// items of a snapshot.
+pub fn inconsistency_reasons(snapshot: &Snapshot, provenance: &DayProvenance) -> Vec<ReasonShare> {
+    let mut counts: Vec<(InconsistencyReason, usize)> = InconsistencyReason::ALL
+        .iter()
+        .map(|r| (*r, 0usize))
+        .collect();
+    let mut inconsistent_items = 0usize;
+
+    for item in snapshot.item_ids() {
+        let buckets = snapshot.buckets(item);
+        if buckets.len() <= 1 {
+            continue;
+        }
+        inconsistent_items += 1;
+        let reasons = provenance.item_reasons(item);
+        // Attribute the item to its most common error reason (ties broken by
+        // the Figure-6 ordering).
+        let mut best: Option<(InconsistencyReason, usize)> = None;
+        for reason in InconsistencyReason::ALL {
+            let count = reasons.get(&reason).copied().unwrap_or(0);
+            if count > 0 && best.map(|(_, c)| count > c).unwrap_or(true) {
+                best = Some((reason, count));
+            }
+        }
+        let attributed = best.map(|(r, _)| r).unwrap_or(InconsistencyReason::PureError);
+        if let Some(slot) = counts.iter_mut().find(|(r, _)| *r == attributed) {
+            slot.1 += 1;
+        }
+    }
+
+    let denom = inconsistent_items.max(1) as f64;
+    counts
+        .into_iter()
+        .map(|(reason, items)| ReasonShare {
+            reason: reason.label().to_string(),
+            share: items as f64 / denom,
+            items,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, stock_config};
+
+    #[test]
+    fn shares_sum_to_one_on_generated_data() {
+        let domain = generate(&stock_config(5).scaled(0.02, 0.15));
+        let shares = inconsistency_reasons(
+            domain.reference_snapshot(),
+            domain.reference_provenance(),
+        );
+        assert_eq!(shares.len(), 5);
+        let total: f64 = shares.iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        // Semantics ambiguity must be the single largest reason in Stock
+        // (paper: 46%).
+        let semantics = shares
+            .iter()
+            .find(|s| s.reason == "semantics ambiguity")
+            .unwrap();
+        assert!(semantics.share > 0.2, "semantics share {}", semantics.share);
+    }
+
+    #[test]
+    fn consistent_snapshot_has_no_attributions() {
+        use datamodel::{AttrId, AttrKind, DomainSchema, ObjectId, SnapshotBuilder, SourceId, Value};
+        use std::sync::Arc;
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("a", AttrKind::Numeric { scale: 1.0 }, false);
+        schema.add_source("s0", false);
+        schema.add_source("s1", false);
+        let mut b = SnapshotBuilder::new(0);
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(1.0));
+        b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(1.0));
+        let snap = b.build(Arc::new(schema));
+        let shares = inconsistency_reasons(&snap, &DayProvenance::new());
+        assert!(shares.iter().all(|s| s.items == 0));
+    }
+}

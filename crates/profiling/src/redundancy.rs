@@ -1,0 +1,193 @@
+//! Redundancy measurements (Section 3.1, Figures 2 and 3).
+//!
+//! Object (resp. data-item) redundancy is the fraction of sources that
+//! provide a particular object (resp. data item). The paper reports the
+//! complementary CDF: the percentage of objects/items whose redundancy is
+//! above a threshold x.
+
+use datamodel::Snapshot;
+use serde::Serialize;
+
+/// Summary of a snapshot's redundancy (the numbers quoted in the paper's
+/// Section 3.1 text).
+#[derive(Debug, Clone, Serialize)]
+pub struct RedundancySummary {
+    /// Number of sources active in the snapshot.
+    pub num_sources: usize,
+    /// Number of objects.
+    pub num_objects: usize,
+    /// Number of data items.
+    pub num_items: usize,
+    /// Mean data-item redundancy (paper: 66% Stock, 32% Flight).
+    pub mean_item_redundancy: f64,
+    /// Mean object redundancy.
+    pub mean_object_redundancy: f64,
+    /// Fraction of objects with redundancy above 0.5.
+    pub objects_above_half: f64,
+    /// Fraction of data items with redundancy above 0.5.
+    pub items_above_half: f64,
+    /// Fraction of sources covering more than half of the data items.
+    pub sources_covering_half_items: f64,
+}
+
+/// Per-object redundancy values (fraction of sources providing each object).
+pub fn object_redundancies(snapshot: &Snapshot) -> Vec<f64> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let num_sources = snapshot.active_sources().len().max(1) as f64;
+    let mut providers: BTreeMap<datamodel::ObjectId, BTreeSet<datamodel::SourceId>> =
+        BTreeMap::new();
+    for (item, obs) in snapshot.items() {
+        let entry = providers.entry(item.object).or_default();
+        for o in obs {
+            entry.insert(o.source);
+        }
+    }
+    providers
+        .values()
+        .map(|sources| sources.len() as f64 / num_sources)
+        .collect()
+}
+
+/// Per-item redundancy values (fraction of sources providing each item).
+pub fn item_redundancies(snapshot: &Snapshot) -> Vec<f64> {
+    let num_sources = snapshot.active_sources().len().max(1) as f64;
+    snapshot
+        .items()
+        .map(|(_, obs)| obs.len() as f64 / num_sources)
+        .collect()
+}
+
+/// One point of a complementary-CDF series: fraction of elements whose
+/// redundancy is at least `threshold`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CdfPoint {
+    /// Redundancy threshold x.
+    pub threshold: f64,
+    /// Fraction of elements with redundancy ≥ x.
+    pub fraction_above: f64,
+}
+
+fn ccdf(values: &[f64], thresholds: &[f64]) -> Vec<CdfPoint> {
+    let n = values.len().max(1) as f64;
+    thresholds
+        .iter()
+        .map(|&threshold| CdfPoint {
+            threshold,
+            fraction_above: values.iter().filter(|&&v| v >= threshold).count() as f64 / n,
+        })
+        .collect()
+}
+
+/// Default thresholds used by Figures 2 and 3 (0.0, 0.1, ..., 1.0).
+pub fn default_thresholds() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// The Figure-2 series: fraction of objects with redundancy above x.
+pub fn object_redundancy_cdf(snapshot: &Snapshot) -> Vec<CdfPoint> {
+    ccdf(&object_redundancies(snapshot), &default_thresholds())
+}
+
+/// The Figure-3 series: fraction of data items with redundancy above x.
+pub fn item_redundancy_cdf(snapshot: &Snapshot) -> Vec<CdfPoint> {
+    ccdf(&item_redundancies(snapshot), &default_thresholds())
+}
+
+/// Summary statistics of a snapshot's redundancy.
+pub fn redundancy_summary(snapshot: &Snapshot) -> RedundancySummary {
+    let objects = object_redundancies(snapshot);
+    let items = item_redundancies(snapshot);
+    let num_sources = snapshot.active_sources().len();
+    let num_items = snapshot.num_items().max(1);
+
+    let sources_covering_half_items = snapshot
+        .active_sources()
+        .into_iter()
+        .filter(|s| snapshot.items_of_source(*s).len() * 2 >= num_items)
+        .count() as f64
+        / num_sources.max(1) as f64;
+
+    RedundancySummary {
+        num_sources,
+        num_objects: objects.len(),
+        num_items: snapshot.num_items(),
+        mean_item_redundancy: datamodel::mean(&items),
+        mean_object_redundancy: datamodel::mean(&objects),
+        objects_above_half: objects.iter().filter(|&&r| r >= 0.5).count() as f64
+            / objects.len().max(1) as f64,
+        items_above_half: items.iter().filter(|&&r| r >= 0.5).count() as f64
+            / items.len().max(1) as f64,
+        sources_covering_half_items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrId, AttrKind, DomainSchema, ObjectId, SnapshotBuilder, SourceId, Value};
+    use std::sync::Arc;
+
+    fn snapshot() -> Snapshot {
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("a", AttrKind::Numeric { scale: 1.0 }, false);
+        schema.add_attribute("b", AttrKind::Numeric { scale: 1.0 }, false);
+        for i in 0..4 {
+            schema.add_source(format!("s{i}"), false);
+        }
+        let mut b = SnapshotBuilder::new(0);
+        // Object 0: attr a provided by all 4 sources, attr b by 1.
+        for s in 0..4 {
+            b.add(SourceId(s), ObjectId(0), AttrId(0), Value::number(1.0));
+        }
+        b.add(SourceId(0), ObjectId(0), AttrId(1), Value::number(2.0));
+        // Object 1: attr a provided by 2 sources.
+        b.add(SourceId(0), ObjectId(1), AttrId(0), Value::number(3.0));
+        b.add(SourceId(1), ObjectId(1), AttrId(0), Value::number(3.0));
+        b.build(Arc::new(schema))
+    }
+
+    #[test]
+    fn item_redundancy_values() {
+        let snap = snapshot();
+        let mut reds = item_redundancies(&snap);
+        reds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(reds, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn object_redundancy_values() {
+        let snap = snapshot();
+        let mut reds = object_redundancies(&snap);
+        reds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Object 1 reached by 2/4 sources, object 0 by 4/4.
+        assert_eq!(reds, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let snap = snapshot();
+        let cdf = item_redundancy_cdf(&snap);
+        assert_eq!(cdf.len(), 11);
+        assert_eq!(cdf[0].fraction_above, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].fraction_above >= w[1].fraction_above);
+        }
+        for p in &cdf {
+            assert!(p.fraction_above >= 0.0 && p.fraction_above <= 1.0);
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let snap = snapshot();
+        let s = redundancy_summary(&snap);
+        assert_eq!(s.num_sources, 4);
+        assert_eq!(s.num_objects, 2);
+        assert_eq!(s.num_items, 3);
+        assert!((s.mean_item_redundancy - (0.25 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((s.items_above_half - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.objects_above_half, 1.0);
+        // Sources 0 and 1 provide ≥ 2 of the 3 items.
+        assert!((s.sources_covering_half_items - 0.5).abs() < 1e-12);
+    }
+}

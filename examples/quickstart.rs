@@ -1,0 +1,84 @@
+//! Quickstart: build a tiny multi-source observation table by hand, run a few
+//! fusion methods on it, and print what each one believes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use deepweb_truth::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A miniature "flight status" domain: three attributes, five websites.
+    let mut schema = DomainSchema::new("mini-flight");
+    let sched = schema.add_attribute(
+        "Scheduled departure",
+        datamodel::AttrKind::Time,
+        false,
+    );
+    let actual = schema.add_attribute("Actual departure", datamodel::AttrKind::Time, false);
+    let gate = schema.add_attribute(
+        "Departure gate",
+        datamodel::AttrKind::Categorical { cardinality: 40 },
+        false,
+    );
+    let airline = schema.add_source("airline.com", true);
+    let orbitz = schema.add_source("orbitz", true);
+    let tracker = schema.add_source("flight-tracker", false);
+    let aggregator = schema.add_source("aggregator", false);
+    let mirror = schema.add_source("aggregator-mirror", false);
+    let schema = Arc::new(schema);
+
+    // One flight (AA119 on 12/8), observed by the five sources. The
+    // aggregator and its mirror share the same wrong scheduled time — the
+    // situation Figure 5 of the paper illustrates.
+    let flight = ObjectId(0);
+    let mut builder = SnapshotBuilder::new(0);
+    builder.add(airline, flight, sched, Value::time(18 * 60 + 15));
+    builder.add(orbitz, flight, sched, Value::time(18 * 60 + 15));
+    builder.add(tracker, flight, sched, Value::time(18 * 60 + 15));
+    builder.add(aggregator, flight, sched, Value::time(19 * 60 + 0));
+    builder.add(mirror, flight, sched, Value::time(19 * 60 + 0));
+
+    builder.add(airline, flight, actual, Value::time(18 * 60 + 27));
+    builder.add(orbitz, flight, actual, Value::time(18 * 60 + 25));
+    builder.add(tracker, flight, actual, Value::time(18 * 60 + 44));
+    builder.add(aggregator, flight, actual, Value::time(18 * 60 + 27));
+
+    builder.add(airline, flight, gate, Value::text("D30"));
+    builder.add(orbitz, flight, gate, Value::text("D30"));
+    builder.add(aggregator, flight, gate, Value::text("C2"));
+    builder.add(mirror, flight, gate, Value::text("C2"));
+
+    let snapshot = builder.build(schema);
+
+    // The airline's values serve as the reference truth.
+    let mut gold = GoldStandard::new();
+    gold.insert(ItemId::new(flight, sched), Value::time(18 * 60 + 15));
+    gold.insert(ItemId::new(flight, actual), Value::time(18 * 60 + 27));
+    gold.insert(ItemId::new(flight, gate), Value::text("D30"));
+
+    println!("Observation table: {} items, {} observations\n", snapshot.num_items(), snapshot.num_observations());
+
+    let context = EvaluationContext::new(&snapshot, &gold);
+    for name in ["Vote", "TruthFinder", "AccuSim", "AccuCopy"] {
+        let method = method_by_name(name).expect("registered method");
+        let result = method.run(&context.problem, &FusionOptions::standard());
+        let pr = precision_recall(&snapshot, &gold, &result);
+        println!("{name:<12} precision {:.2}  (rounds: {})", pr.precision, result.rounds);
+        for (item, value) in &result.selected {
+            let attr_name = &snapshot.schema().attribute(item.attr).name;
+            println!("    {attr_name:<22} -> {value}");
+        }
+    }
+
+    println!("\nPer-source accuracy against the airline's data:");
+    for acc in source_accuracies(&snapshot, &gold) {
+        println!(
+            "    {:<18} accuracy {}  coverage {:.2}",
+            acc.name,
+            acc.accuracy
+                .map(|a| format!("{a:.2}"))
+                .unwrap_or_else(|| "n/a".to_string()),
+            acc.coverage
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The Section-3 data-quality study on a generated Stock collection: data
+//! redundancy, value inconsistency, dominant values, source accuracy, and
+//! copying — the measurements behind Figures 2-8 and Tables 3-5 of the paper.
+//!
+//! Run with: `cargo run --release --example stock_quality_study [scale]`
+//! where `scale` (default 0.1) shrinks the number of stock symbols so the
+//! example stays fast; pass 1.0 for the full paper-scale collection.
+
+use deepweb_truth::prelude::*;
+use profiling::{
+    accuracy_histogram, all_copy_group_stats, attribute_inconsistency, authority_report,
+    inconsistency_reasons,
+};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let config = stock_config(2026).scaled(scale, 0.25);
+    println!(
+        "Generating a Stock collection: {} sources, {} symbols, {} days...",
+        config.num_sources(),
+        config.num_objects,
+        config.num_days
+    );
+    let domain = generate(&config);
+    let day = domain.collection.reference_day();
+    let snapshot = &day.snapshot;
+
+    // Redundancy (Figures 2-3).
+    let redundancy = redundancy_summary(snapshot);
+    println!("\n-- Redundancy --");
+    println!(
+        "items: {}   mean item redundancy: {:.2}   items with redundancy > 0.5: {:.0}%",
+        redundancy.num_items,
+        redundancy.mean_item_redundancy,
+        redundancy.items_above_half * 100.0
+    );
+
+    // Value inconsistency (Figure 4, Table 3).
+    let inconsistency = snapshot_inconsistency(snapshot);
+    println!("\n-- Value inconsistency --");
+    println!(
+        "items with conflicts: {:.0}%   mean #values: {:.2}   mean entropy: {:.2}",
+        inconsistency.fraction_conflicting * 100.0,
+        inconsistency.mean_num_values,
+        inconsistency.mean_entropy
+    );
+    let mut per_attr = attribute_inconsistency(snapshot);
+    per_attr.sort_by(|a, b| b.mean_num_values.partial_cmp(&a.mean_num_values).unwrap());
+    println!("most inconsistent attributes (by mean number of values):");
+    for attr in per_attr.iter().take(5) {
+        println!(
+            "    {:<22} {:.2} values, entropy {:.2}",
+            attr.name, attr.mean_num_values, attr.mean_entropy
+        );
+    }
+
+    // Reasons (Figure 6).
+    println!("\n-- Reasons for inconsistency --");
+    for share in inconsistency_reasons(snapshot, domain.reference_provenance()) {
+        if share.items > 0 {
+            println!("    {:<22} {:.0}%", share.reason, share.share * 100.0);
+        }
+    }
+
+    // Dominant values (Figure 7).
+    let dominance = dominance_profile(snapshot, &day.gold);
+    println!("\n-- Dominant values --");
+    println!(
+        "precision of dominant values (VOTE): {:.3}   items with dominance > 0.9: {:.0}%",
+        dominance.overall_precision,
+        dominance.fraction_above_09 * 100.0
+    );
+
+    // Source accuracy (Figure 8(a), Table 4).
+    let accuracies = source_accuracies(snapshot, &day.gold);
+    let hist = accuracy_histogram(&accuracies);
+    println!("\n-- Source accuracy distribution --");
+    for (bin, share) in hist.iter().enumerate() {
+        if *share > 0.0 {
+            println!("    [{:.1}, {:.1})  {:>4.0}%", bin as f64 / 10.0, (bin + 1) as f64 / 10.0, share * 100.0);
+        }
+    }
+    println!("authoritative sources:");
+    for auth in authority_report(snapshot, &day.gold) {
+        println!(
+            "    {:<band$} accuracy {:.2}  coverage {:.2}",
+            auth.name,
+            auth.accuracy.unwrap_or(0.0),
+            auth.coverage,
+            band = 16
+        );
+    }
+
+    // Copying (Table 5).
+    println!("\n-- Planted copy groups --");
+    for stats in all_copy_group_stats(snapshot, &day.gold, &domain.copy_groups) {
+        println!(
+            "    {} sources: schema sim {:.2}, object sim {:.2}, value sim {:.2}, avg accuracy {:.2}",
+            stats.size,
+            stats.schema_commonality,
+            stats.object_commonality,
+            stats.value_commonality,
+            stats.average_accuracy
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! `deepweb-truth` — a reproduction of *"Truth Finding on the Deep Web: Is
+//! the Problem Solved?"* (Li, Dong, Lyons, Meng, Srivastava; VLDB 2012).
+//!
+//! The workspace implements the full measurement pipeline of the paper:
+//!
+//! * [`datamodel`] — sources, objects, attributes, typed values, tolerance
+//!   and bucketing, observation tables, gold standards;
+//! * [`datagen`] — seeded Deep-Web simulators for the Stock and Flight
+//!   domains, calibrated to the statistics the paper reports;
+//! * [`profiling`] — the Section-3 data-quality study (redundancy,
+//!   consistency, dominance, source accuracy, copying);
+//! * [`copydetect`] — Bayesian source-dependence detection;
+//! * [`fusion`] — the sixteen fusion methods of Table 6 behind one trait;
+//! * [`evaluation`] — the Section-4 experiment harness (precision/recall,
+//!   trust quality, incremental sources, method comparison, error analysis,
+//!   over-time summaries).
+//!
+//! # Quick start
+//!
+//! ```
+//! use deepweb_truth::prelude::*;
+//!
+//! // Generate a small Stock-like collection (seeded, deterministic).
+//! let config = stock_config(7).scaled(0.01, 0.1);
+//! let domain = generate(&config);
+//! let day = domain.collection.reference_day();
+//!
+//! // Profile the data and run one fusion method.
+//! let vote_precision = dominant_value_precision(&day.snapshot, &day.gold);
+//! let context = EvaluationContext::new(&day.snapshot, &day.gold);
+//! let accu = method_by_name("AccuFormatAttr").unwrap();
+//! let result = accu.run(&context.problem, &FusionOptions::standard());
+//! let pr = precision_recall(&day.snapshot, &day.gold, &result);
+//! assert!(pr.precision >= 0.0 && pr.precision <= 1.0);
+//! assert!(vote_precision > 0.0);
+//! ```
+
+pub use copydetect;
+pub use datagen;
+pub use datamodel;
+pub use evaluation;
+pub use fusion;
+pub use profiling;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use copydetect::{known_copying, CopyDetector, CopyReport};
+    pub use datagen::{flight_config, generate, stock_config, DomainConfig, GeneratedDomain};
+    pub use datamodel::{
+        AttrId, Collection, DomainSchema, GoldStandard, ItemId, ObjectId, Snapshot,
+        SnapshotBuilder, SourceId, Value,
+    };
+    pub use evaluation::{
+        analyze_errors, compare_methods, evaluate_all_methods, evaluate_over_time,
+        incremental_recall, precision_by_dominance, precision_recall, EvaluationContext,
+    };
+    pub use fusion::{all_methods, method_by_name, FusionMethod, FusionOptions, FusionProblem};
+    pub use profiling::{
+        dominance_profile, dominant_value_precision, redundancy_summary, snapshot_inconsistency,
+        source_accuracies,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_supports_the_full_pipeline() {
+        let domain = generate(&stock_config(3).scaled(0.01, 0.1));
+        let day = domain.collection.reference_day();
+        let summary = redundancy_summary(&day.snapshot);
+        assert!(summary.num_sources > 0);
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        let vote = method_by_name("Vote").unwrap();
+        let result = vote.run(&context.problem, &FusionOptions::standard());
+        let pr = precision_recall(&day.snapshot, &day.gold, &result);
+        assert!(pr.precision > 0.5);
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end integration tests: generate a domain, profile it, detect
+//! copying, fuse, and evaluate — asserting the paper's qualitative findings
+//! hold on the generated data.
+
+use deepweb_truth::prelude::*;
+
+fn stock_domain() -> GeneratedDomain {
+    generate(&stock_config(2012).scaled(0.06, 0.15))
+}
+
+fn flight_domain() -> GeneratedDomain {
+    generate(&flight_config(20_120_826).scaled(0.08, 0.1))
+}
+
+#[test]
+fn stock_pipeline_reproduces_the_papers_quality_findings() {
+    let domain = stock_domain();
+    let day = domain.collection.reference_day();
+
+    // Section 3.1: high redundancy.
+    let redundancy = redundancy_summary(&day.snapshot);
+    assert!(
+        redundancy.mean_item_redundancy > 0.45,
+        "stock item redundancy {}",
+        redundancy.mean_item_redundancy
+    );
+
+    // Section 3.2: a substantial fraction of items have conflicting values.
+    let inconsistency = snapshot_inconsistency(&day.snapshot);
+    assert!(
+        inconsistency.fraction_conflicting > 0.4,
+        "conflicting fraction {}",
+        inconsistency.fraction_conflicting
+    );
+    assert!(inconsistency.mean_num_values > 1.3);
+
+    // Dominant values are good but not perfect (paper: 0.908).
+    let dominant = dominant_value_precision(&day.snapshot, &day.gold);
+    assert!(
+        dominant > 0.8 && dominant < 0.999,
+        "dominant-value precision {dominant}"
+    );
+
+    // Section 3.3: source accuracies spread widely, authorities are good but
+    // not perfect.
+    let accuracies = source_accuracies(&day.snapshot, &day.gold);
+    let values: Vec<f64> = accuracies.iter().filter_map(|a| a.accuracy).collect();
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(0.0, f64::max);
+    assert!(min < 0.7, "worst source accuracy {min}");
+    assert!(max > 0.9, "best source accuracy {max}");
+    // Authorities are good but not perfect (the paper's Bloomberg sits at
+    // .83 because it applies different semantics on statistical attributes).
+    let authority_accs: Vec<f64> = accuracies
+        .iter()
+        .filter(|a| a.authority)
+        .filter_map(|a| a.accuracy)
+        .collect();
+    assert!(!authority_accs.is_empty());
+    let avg_auth = authority_accs.iter().sum::<f64>() / authority_accs.len() as f64;
+    assert!(avg_auth > 0.82, "average authority accuracy {avg_auth}");
+    for acc in &authority_accs {
+        assert!(*acc > 0.7 && *acc < 1.0, "authority accuracy {acc}");
+    }
+}
+
+#[test]
+fn flight_copier_removal_improves_dominant_values() {
+    let domain = flight_domain();
+    let day = domain.collection.reference_day();
+    let before = dominant_value_precision(&day.snapshot, &day.gold);
+    let copiers: Vec<SourceId> = domain
+        .copy_groups
+        .iter()
+        .flat_map(|g| g[1..].to_vec())
+        .collect();
+    let after = dominant_value_precision(&day.snapshot.remove_sources(&copiers), &day.gold);
+    // Section 3.4: removing copiers increases the precision of dominant
+    // values on the Flight domain (paper: .864 -> .927).
+    assert!(
+        after >= before - 1e-9,
+        "removing copiers should not hurt: before {before}, after {after}"
+    );
+}
+
+#[test]
+fn fusion_beats_or_matches_voting_and_oracle_trust_helps() {
+    let domain = stock_domain();
+    let day = domain.collection.reference_day();
+    let oracle = known_copying(day.snapshot.schema());
+    let context = EvaluationContext::new(&day.snapshot, &day.gold).with_known_copying(&oracle);
+    let rows = evaluate_all_methods(&context);
+    assert_eq!(rows.len(), 16);
+
+    let vote = rows.iter().find(|r| r.method == "Vote").unwrap().clone();
+    let best = rows
+        .iter()
+        .max_by(|a, b| {
+            a.precision_without_trust
+                .partial_cmp(&b.precision_without_trust)
+                .unwrap()
+        })
+        .unwrap()
+        .clone();
+    // Section 4: the best fusion method improves over naive voting.
+    assert!(
+        best.precision_without_trust >= vote.precision_without_trust,
+        "best {} ({}) vs vote {}",
+        best.method,
+        best.precision_without_trust,
+        vote.precision_without_trust
+    );
+    // Fusion finds correct values for the overwhelming majority of items
+    // (paper: 96% on average across domains).
+    assert!(best.precision_without_trust > 0.85);
+
+    // Giving sampled trust as input helps most methods.
+    let helped = rows
+        .iter()
+        .filter(|r| r.method != "Vote")
+        .filter(|r| r.precision_with_trust >= r.precision_without_trust - 0.02)
+        .count();
+    assert!(helped >= 12, "only {helped} methods helped by oracle trust");
+}
+
+#[test]
+fn attribute_level_trust_helps_on_stock_like_data() {
+    let domain = stock_domain();
+    let day = domain.collection.reference_day();
+    let context = EvaluationContext::new(&day.snapshot, &day.gold);
+    let plain = compare_methods(&context, "AccuSim", "AccuSimAttr").unwrap();
+    // The paper observes that distinguishing per-attribute trustworthiness
+    // improves precision on Stock (Table 8: +.016). On generated data the
+    // effect direction can fluctuate with the seed when the ambiguity
+    // adoption is near one half, so only guard against a large regression.
+    assert!(
+        plain.delta_precision > -0.05,
+        "AccuSimAttr should not be clearly worse than AccuSim on Stock-like data: {}",
+        plain.delta_precision
+    );
+}
+
+#[test]
+fn accucopy_is_best_in_class_on_flight_like_data() {
+    let domain = flight_domain();
+    let day = domain.collection.reference_day();
+    let oracle = known_copying(day.snapshot.schema());
+    let context = EvaluationContext::new(&day.snapshot, &day.gold).with_known_copying(&oracle);
+
+    let vote = evaluation::runner::run_named_method(
+        &context,
+        "Vote",
+        &fusion::FusionOptions::standard(),
+    )
+    .unwrap();
+    let accucopy = evaluation::runner::run_named_method(
+        &context,
+        "AccuCopy",
+        &fusion::FusionOptions::standard()
+            .with_input_trust(context.sampled_trust.clone())
+            .with_known_copying(context.known_copying.clone().unwrap()),
+    )
+    .unwrap();
+    let vote_pr = precision_recall(&day.snapshot, &day.gold, &vote);
+    let copy_pr = precision_recall(&day.snapshot, &day.gold, &accucopy);
+    // The paper's headline Flight result: AccuCopy with correct trust and
+    // copying knowledge clearly beats voting (.960 vs .864).
+    assert!(
+        copy_pr.precision >= vote_pr.precision,
+        "AccuCopy ({}) should be at least as good as VOTE ({}) on flight-like data",
+        copy_pr.precision,
+        vote_pr.precision
+    );
+}
+
+#[test]
+fn copy_detection_recovers_planted_groups_on_flight() {
+    let domain = flight_domain();
+    let day = domain.collection.reference_day();
+    let report = CopyDetector::new().detect(&day.snapshot, &day.gold);
+    // Every planted pair should receive a clearly-above-prior probability.
+    let mut planted = Vec::new();
+    for group in &domain.copy_groups {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                planted.push(report.probability(group[i], group[j]));
+            }
+        }
+    }
+    let mean_planted = planted.iter().sum::<f64>() / planted.len() as f64;
+    assert!(mean_planted > 0.6, "mean planted-pair probability {mean_planted}");
+}
+
+#[test]
+fn incremental_sources_peak_before_using_everything() {
+    let domain = flight_domain();
+    let day = domain.collection.reference_day();
+    let context = EvaluationContext::new(&day.snapshot, &day.gold);
+    let series = incremental_recall(&context, &["Vote"], 4);
+    let vote = &series[0];
+    let peak = vote.peak().unwrap();
+    // Fusing a subset of high-recall sources is at least as good as fusing
+    // everything (paper, Section 4.2 / Figure 9).
+    assert!(peak.recall >= vote.final_recall() - 1e-9);
+    assert!(peak.num_sources <= day.snapshot.active_sources().len());
+}
+
+#[test]
+fn over_time_summaries_are_stable() {
+    let domain = generate(&stock_config(99).scaled(0.02, 0.2));
+    let rows = evaluate_over_time(&domain.collection, false);
+    for row in rows {
+        assert!(row.deviation < 0.2, "{} deviation {}", row.method, row.deviation);
+        assert!(row.average > 0.5, "{} average {}", row.method, row.average);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: bucketing, tolerance, entropy, gold-standard judging, fusion
+//! output validity, and generator determinism.
+
+use deepweb_truth::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a one-attribute snapshot from arbitrary (source, value) pairs.
+fn snapshot_from_values(values: &[f64]) -> Snapshot {
+    let mut schema = DomainSchema::new("prop");
+    schema.add_attribute("x", datamodel::AttrKind::Numeric { scale: 100.0 }, false);
+    for i in 0..values.len() {
+        schema.add_source(format!("s{i}"), false);
+    }
+    let mut builder = SnapshotBuilder::new(0);
+    for (i, v) in values.iter().enumerate() {
+        builder.add(SourceId(i as u32), ObjectId(0), AttrId(0), Value::number(*v));
+    }
+    builder.build(Arc::new(schema))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucketing partitions the providers: every source appears in exactly
+    /// one bucket, and bucket supports sum to the number of observations.
+    #[test]
+    fn bucketing_is_a_partition(values in prop::collection::vec(10.0f64..1000.0, 1..40)) {
+        let snapshot = snapshot_from_values(&values);
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        let buckets = snapshot.buckets(item);
+        let total: usize = buckets.iter().map(|b| b.support()).sum();
+        prop_assert_eq!(total, values.len());
+        let mut seen: Vec<SourceId> = buckets.iter().flat_map(|b| b.providers.clone()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), values.len());
+        // Buckets are ordered by support.
+        for w in buckets.windows(2) {
+            prop_assert!(w[0].support() >= w[1].support());
+        }
+    }
+
+    /// Values within the tolerance of each other always land in the same
+    /// bucket when they are the only observations.
+    #[test]
+    fn close_pairs_share_a_bucket(base in 50.0f64..500.0, delta in 0.0f64..0.4) {
+        let snapshot = snapshot_from_values(&[base, base * (1.0 + delta * 0.01)]);
+        let buckets = snapshot.buckets(ItemId::new(ObjectId(0), AttrId(0)));
+        prop_assert_eq!(buckets.len(), 1);
+    }
+
+    /// Entropy is non-negative and bounded by log2 of the number of buckets.
+    #[test]
+    fn entropy_bounds(counts in prop::collection::vec(1usize..50, 1..10)) {
+        let e = datamodel::entropy(&counts);
+        prop_assert!(e >= -1e-12);
+        prop_assert!(e <= (counts.len() as f64).log2() + 1e-9);
+    }
+
+    /// Value similarity is symmetric, bounded by [0, 1], and maximal for the
+    /// value itself.
+    #[test]
+    fn similarity_properties(a in -1e6f64..1e6, b in -1e6f64..1e6, scale in 0.1f64..1e4) {
+        let va = Value::number(a);
+        let vb = Value::number(b);
+        let sab = va.similarity(&vb, scale);
+        let sba = vb.similarity(&va, scale);
+        prop_assert!((sab - sba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&sab));
+        prop_assert!(va.similarity(&va, scale) >= sab - 1e-12);
+    }
+
+    /// Tolerance-aware matching is symmetric and reflexive.
+    #[test]
+    fn matching_is_symmetric(a in -1e6f64..1e6, b in -1e6f64..1e6, tol in 0.0f64..1e3) {
+        let va = Value::number(a);
+        let vb = Value::number(b);
+        prop_assert!(va.matches(&va, 0.0));
+        prop_assert_eq!(va.matches(&vb, tol), vb.matches(&va, tol));
+    }
+
+    /// Statistics helpers stay within their natural bounds.
+    #[test]
+    fn stats_bounds(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = datamodel::mean(&xs);
+        let median = datamodel::median(&xs);
+        prop_assert!(mean >= min - 1e-9 && mean <= max + 1e-9);
+        prop_assert!(median >= min - 1e-9 && median <= max + 1e-9);
+        prop_assert!(datamodel::stddev(&xs) >= 0.0);
+    }
+
+    /// Every fusion method selects, for every item, one of the values that
+    /// was actually provided (no invented values), and its trust estimates
+    /// are finite.
+    #[test]
+    fn fusion_selects_provided_values(values in prop::collection::vec(10.0f64..1000.0, 2..25)) {
+        let snapshot = snapshot_from_values(&values);
+        let problem = FusionProblem::from_snapshot(&snapshot);
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        let provided: Vec<Value> = snapshot
+            .observations(item)
+            .iter()
+            .map(|o| o.value.clone())
+            .collect();
+        let tolerance = snapshot.tolerance().tolerance(AttrId(0));
+        for (_, method) in all_methods() {
+            let result = method.run(&problem, &FusionOptions::standard());
+            let selected = result.value_for(item).expect("item fused");
+            prop_assert!(
+                provided.iter().any(|v| v.matches(selected, tolerance.max(1e-9))),
+                "{} selected a value nobody provided: {selected}",
+                method.name()
+            );
+            for t in &result.trust.overall {
+                prop_assert!(t.is_finite());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The generator is deterministic in its seed and always produces
+    /// snapshots whose provenance covers every observation.
+    #[test]
+    fn generator_determinism_and_provenance(seed in 0u64..1000) {
+        let config = stock_config(seed).scaled(0.01, 0.1);
+        let a = generate(&config);
+        let b = generate(&config);
+        prop_assert_eq!(
+            a.reference_snapshot().num_observations(),
+            b.reference_snapshot().num_observations()
+        );
+        let prov = a.reference_provenance();
+        prop_assert_eq!(prov.len(), a.reference_snapshot().num_observations());
+        // Gold standard only contains values that judge as correct against
+        // themselves.
+        let day = a.collection.reference_day();
+        for (item, value) in day.gold.iter() {
+            prop_assert_eq!(day.gold.judge(&day.snapshot, *item, value), Some(true));
+        }
+    }
+}
