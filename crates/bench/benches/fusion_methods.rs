@@ -1,9 +1,11 @@
 //! Criterion micro-benchmarks of the fusion methods (the cost side of
 //! Figure 12): per-method end-to-end fusion time on a reduced Stock and
-//! Flight snapshot, plus the cost of problem preparation.
+//! Flight snapshot, the cost of problem preparation, and the sequential
+//! vs. parallel evaluation-runner guard.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{flight_config, generate, stock_config};
+use evaluation::{evaluate_all_methods, same_results, EvaluationContext, ParallelRunner};
 use fusion::{all_methods, FusionOptions, FusionProblem};
 
 fn bench_methods(c: &mut Criterion) {
@@ -33,9 +35,38 @@ fn bench_preparation(c: &mut Criterion) {
     });
 }
 
+/// Guard: the parallel runner must produce the same rows as the sequential
+/// runner on the same seeded snapshot — and this bench shows what the
+/// fan-out buys in wall-clock. Both runners evaluate all sixteen methods
+/// with and without sampled trust.
+fn bench_runners(c: &mut Criterion) {
+    let stock = generate(&stock_config(2012).scaled(0.03, 0.1));
+    let day = stock.collection.reference_day();
+    let context = EvaluationContext::new(&day.snapshot, &day.gold);
+
+    // Correctness guard first: a timing comparison of two runners is only
+    // meaningful if they compute the same thing.
+    let sequential = evaluate_all_methods(&context);
+    let parallel = ParallelRunner::new().evaluate_all_methods(&context);
+    assert!(
+        same_results(&sequential, &parallel),
+        "parallel runner diverged from sequential runner on the guard snapshot"
+    );
+
+    let mut group = c.benchmark_group("evaluation_runner");
+    group.bench_function("sequential_16_methods", |b| {
+        b.iter(|| evaluate_all_methods(&context))
+    });
+    group.bench_function("parallel_16_methods", |b| {
+        let runner = ParallelRunner::new();
+        b.iter(|| runner.evaluate_all_methods(&context))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_methods, bench_preparation
+    targets = bench_methods, bench_preparation, bench_runners
 }
 criterion_main!(benches);

@@ -67,7 +67,7 @@ fn perturb(truth: &Value, rng: &mut impl Rng, slot: usize) -> Value {
             let sign: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
             Value::time(m + sign * offset)
         }
-        Value::Text(s) => Value::text(format!("{s}-x{}", slot.min(97) + rng.gen_range(0..3))),
+        Value::Text(s) => Value::text(format!("{s}-x{}", slot.min(97) + rng.gen_range(0..3usize))),
     }
 }
 

@@ -29,7 +29,7 @@ pub mod value;
 
 pub use bucket::{bucket_values, Bucketing, ValueBucket};
 pub use csv::{write_snapshot, CsvError, CsvReader};
-pub use collection::Collection;
+pub use collection::{Collection, CollectionDay};
 pub use gold::GoldStandard;
 pub use ids::{AttrId, ItemId, ObjectId, SourceId};
 pub use schema::{AttrKind, AttributeDef, DomainSchema, SourceInfo};

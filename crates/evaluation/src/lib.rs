@@ -8,6 +8,9 @@
 //!   (Table 8);
 //! * [`incremental`] — recall as sources are added in recall order
 //!   (Figure 9);
+//! * [`parallel`] — the multi-core runner fanning all sixteen methods ×
+//!   any number of snapshot days across CPU cores (Figure 12's efficiency
+//!   story at to-day's core counts);
 //! * [`breakdown`] — precision vs. dominance factor (Figure 10);
 //! * [`errors`] — error analysis of a method's mistakes (Figure 11);
 //! * [`over_time`] — precision over all collection days (Table 9).
@@ -18,6 +21,7 @@ pub mod errors;
 pub mod incremental;
 pub mod metrics;
 pub mod over_time;
+pub mod parallel;
 pub mod runner;
 
 pub use breakdown::{precision_by_dominance, DominancePrecisionPoint};
@@ -28,6 +32,9 @@ pub use metrics::{
     precision_recall, sampled_trust, trust_deviation_and_difference, PrecisionRecall,
 };
 pub use over_time::{evaluate_over_time, MethodOverTime};
+pub use parallel::{
+    evaluate_days_sequential, same_results, DayEvaluation, ParallelEvaluation, ParallelRunner,
+};
 pub use runner::{
     copy_report_to_dense, evaluate_all_methods, evaluate_method, EvaluationContext,
     MethodEvaluation,

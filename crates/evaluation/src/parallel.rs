@@ -1,0 +1,345 @@
+//! Parallel evaluation runner: fan the sixteen registry methods — and any
+//! number of collection days — across CPU cores.
+//!
+//! The sequential [`runner`](crate::runner) evaluates methods one at a time;
+//! on the paper's workload that is dominated by a few expensive methods (the
+//! per-attribute ACCU variants and ACCUCOPY take orders of magnitude longer
+//! than VOTE, see Figure 12). [`ParallelRunner`] runs each (day, method)
+//! pair as one task on a work-stealing pool, so the cheap methods fill the
+//! cores while the expensive ones run, and a multi-day evaluation
+//! (Table 9 / Figure 8) scales with the number of snapshots.
+//!
+//! Every method run is deterministic (no randomness at fusion time), so the
+//! parallel runner produces **identical** rows to the sequential one —
+//! selected values, precision, trust, rounds — except for the measured
+//! `elapsed` wall-clock field, which is timing noise by nature. The
+//! `same_results` helper encodes that equivalence and is exercised by the
+//! integration tests.
+
+use crate::runner::{evaluate_all_methods, evaluate_method, EvaluationContext, MethodEvaluation};
+use copydetect::known_copying;
+use datamodel::{Collection, CollectionDay};
+use fusion::all_methods;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Fans fusion-method evaluations across CPU cores.
+///
+/// Construct with [`ParallelRunner::new`], optionally enable the oracle
+/// copying knowledge with [`with_known_copying`](Self::with_known_copying),
+/// then evaluate a single prepared context
+/// ([`evaluate_all_methods`](Self::evaluate_all_methods)) or whole
+/// collections ([`evaluate_collection`](Self::evaluate_collection),
+/// [`evaluate_days`](Self::evaluate_days)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelRunner {
+    use_known_copying: bool,
+}
+
+/// All sixteen Table-7 rows for one collection day.
+#[derive(Debug, Clone, Serialize)]
+pub struct DayEvaluation {
+    /// Index of the day within the evaluated selection.
+    pub day_index: usize,
+    /// The snapshot's own day stamp.
+    pub day: u32,
+    /// One row per registry method, in Table-7 order.
+    pub rows: Vec<MethodEvaluation>,
+}
+
+/// Result of a parallel multi-snapshot evaluation, with the timing evidence
+/// for the Figure-12 efficiency discussion.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelEvaluation {
+    /// Per-day method rows, in the order the days were requested.
+    pub days: Vec<DayEvaluation>,
+    /// Wall-clock time of the whole fan-out (context preparation included).
+    pub wall_clock: Duration,
+    /// Sum of the full per-(day, method) task times — both the without-trust
+    /// and with-trust runs plus the metrics, i.e. what a sequential runner
+    /// would spend inside the evaluations alone (context preparation
+    /// excluded).
+    pub total_method_time: Duration,
+    /// Worker threads the fan-out ran on.
+    pub threads: usize,
+}
+
+impl ParallelEvaluation {
+    /// Ratio of summed per-task time to wall-clock time; > 1 means the
+    /// fan-out beat a sequential run (upper-bounded by `threads`). For a
+    /// measured — rather than estimated — baseline, time
+    /// [`evaluate_days_sequential`] on the same selection.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_clock.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.total_method_time.as_secs_f64() / wall
+    }
+}
+
+impl ParallelRunner {
+    /// A runner with the standard options (no oracle copying knowledge).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed the planted/claimed copy groups (Table 5) to the oracle
+    /// with-trust runs of copy-aware methods, as Table 7 does.
+    pub fn with_known_copying(mut self) -> Self {
+        self.use_known_copying = true;
+        self
+    }
+
+    /// Evaluate all sixteen registry methods on one prepared context, one
+    /// task per method, returning rows in Table-7 order (the parallel
+    /// equivalent of [`evaluate_all_methods`]).
+    ///
+    /// If the runner was built [`with_known_copying`](Self::with_known_copying)
+    /// and the context does not already carry a copy report, the oracle
+    /// report is derived from the snapshot's schema here, exactly as
+    /// [`evaluate_days`](Self::evaluate_days) does.
+    pub fn evaluate_all_methods(
+        &self,
+        context: &EvaluationContext<'_>,
+    ) -> Vec<MethodEvaluation> {
+        let enriched = (self.use_known_copying && context.known_copying.is_none()).then(|| {
+            let report = known_copying(context.snapshot.schema());
+            context.clone().with_known_copying(&report)
+        });
+        let context = enriched.as_ref().unwrap_or(context);
+        all_methods()
+            .into_par_iter()
+            .map(|(category, method)| evaluate_method(context, category, method.as_ref()))
+            .collect()
+    }
+
+    /// Evaluate every day of a collection; see [`evaluate_days`](Self::evaluate_days).
+    pub fn evaluate_collection(&self, collection: &Collection) -> ParallelEvaluation {
+        let indices: Vec<usize> = (0..collection.num_days()).collect();
+        self.evaluate_days(collection, &indices)
+    }
+
+    /// Evaluate the sixteen registry methods on the selected days of a
+    /// collection, fanning all (day, method) pairs across the pool at once
+    /// so expensive methods on one day overlap cheap methods on another.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `day_indices` is out of range for the
+    /// collection (mirroring [`Collection::day`]).
+    pub fn evaluate_days(
+        &self,
+        collection: &Collection,
+        day_indices: &[usize],
+    ) -> ParallelEvaluation {
+        let start = Instant::now();
+
+        // Phase 1: prepare one context per requested day, in parallel.
+        // (FusionProblem preparation and trust sampling are themselves
+        // non-trivial on paper-scale snapshots.)
+        let days: Vec<&CollectionDay> = day_indices.iter().map(|&i| collection.day(i)).collect();
+        let contexts: Vec<EvaluationContext<'_>> = days
+            .par_iter()
+            .map(|day| {
+                let context = EvaluationContext::new(&day.snapshot, &day.gold);
+                if self.use_known_copying {
+                    let report = known_copying(day.snapshot.schema());
+                    context.with_known_copying(&report)
+                } else {
+                    context
+                }
+            })
+            .collect();
+
+        // Phase 2: one task per (day, method) pair. Method index rides along
+        // so the rows can be reassembled in Table-7 order per day. The
+        // method objects are built once and shared (`FusionMethod` is
+        // `Send + Sync`). Each task is timed as a whole — evaluate_method
+        // runs the method twice (without and with input trust) plus the
+        // metrics, and all of that is work a sequential runner would pay
+        // for, so only the full task time gives an honest speedup numerator.
+        let methods = all_methods();
+        let tasks: Vec<(usize, usize)> = (0..contexts.len())
+            .flat_map(|day| (0..methods.len()).map(move |method| (day, method)))
+            .collect();
+        let evaluated: Vec<(usize, usize, MethodEvaluation, Duration)> = tasks
+            .into_par_iter()
+            .map(|(day, method_index)| {
+                let task_start = Instant::now();
+                let (category, method) = &methods[method_index];
+                let row = evaluate_method(&contexts[day], *category, method.as_ref());
+                (day, method_index, row, task_start.elapsed())
+            })
+            .collect();
+
+        // Reassemble: rows arrive ordered by task index (day-major), so a
+        // stable pass per day suffices.
+        let mut day_rows: Vec<Vec<MethodEvaluation>> =
+            (0..contexts.len()).map(|_| Vec::new()).collect();
+        let mut total_method_time = Duration::ZERO;
+        for (day, _method_index, row, task_time) in evaluated {
+            total_method_time += task_time;
+            day_rows[day].push(row);
+        }
+
+        let days = day_rows
+            .into_iter()
+            .zip(days)
+            .enumerate()
+            .map(|(day_index, (rows, day))| DayEvaluation {
+                day_index,
+                day: day.snapshot.day(),
+                rows,
+            })
+            .collect();
+
+        ParallelEvaluation {
+            days,
+            wall_clock: start.elapsed(),
+            total_method_time,
+            threads: rayon::current_num_threads(),
+        }
+    }
+
+    /// Fan an arbitrary per-day computation across the pool, preserving day
+    /// order — the building block the profiling-style experiments (Figure 8,
+    /// Table 9) use for measurements that are not fusion runs.
+    pub fn map_days<'c, R, F>(&self, collection: &'c Collection, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&'c CollectionDay) -> R + Sync + Send,
+    {
+        let days: Vec<&CollectionDay> = collection.days().collect();
+        days.into_par_iter().map(f).collect()
+    }
+}
+
+/// True when two evaluations of the same context agree on everything a
+/// deterministic method controls (name, category, precision, recall, trust
+/// statistics, rounds) — i.e. everything except the measured `elapsed`.
+pub fn same_results(a: &[MethodEvaluation], b: &[MethodEvaluation]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.method == y.method
+                && x.category == y.category
+                && x.precision_without_trust == y.precision_without_trust
+                && x.recall_without_trust == y.recall_without_trust
+                && x.precision_with_trust == y.precision_with_trust
+                && x.trust_deviation == y.trust_deviation
+                && x.trust_difference == y.trust_difference
+                && x.rounds == y.rounds
+        })
+}
+
+/// Convenience: sequential baseline rows for the same selection of days,
+/// used by the efficiency experiment to report the speedup honestly.
+pub fn evaluate_days_sequential(
+    collection: &Collection,
+    day_indices: &[usize],
+    use_known_copying: bool,
+) -> Vec<DayEvaluation> {
+    day_indices
+        .iter()
+        .enumerate()
+        .map(|(day_index, &i)| {
+            let day = collection.day(i);
+            let mut context = EvaluationContext::new(&day.snapshot, &day.gold);
+            if use_known_copying {
+                let report = known_copying(day.snapshot.schema());
+                context = context.with_known_copying(&report);
+            }
+            DayEvaluation {
+                day_index,
+                day: day.snapshot.day(),
+                rows: evaluate_all_methods(&context),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, stock_config};
+
+    #[test]
+    fn parallel_matches_sequential_on_one_context() {
+        let domain = generate(&stock_config(31).scaled(0.015, 0.1));
+        let day = domain.collection.reference_day();
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        let sequential = evaluate_all_methods(&context);
+        let parallel = ParallelRunner::new().evaluate_all_methods(&context);
+        assert_eq!(parallel.len(), 16);
+        assert!(
+            same_results(&sequential, &parallel),
+            "parallel rows diverged from sequential rows"
+        );
+        // Table-7 order is preserved.
+        assert_eq!(parallel[0].method, "Vote");
+        assert_eq!(parallel[15].method, "AccuCopy");
+    }
+
+    #[test]
+    fn multi_day_fanout_covers_every_day_and_method() {
+        let domain = generate(&stock_config(32).scaled(0.01, 0.2));
+        let report = ParallelRunner::new().evaluate_collection(&domain.collection);
+        assert_eq!(report.days.len(), domain.collection.num_days());
+        for (i, day) in report.days.iter().enumerate() {
+            assert_eq!(day.day_index, i);
+            assert_eq!(day.rows.len(), 16);
+            assert_eq!(day.rows[0].method, "Vote");
+        }
+        assert!(report.threads >= 1);
+        assert!(report.total_method_time >= Duration::ZERO);
+        assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn multi_day_fanout_matches_sequential_baseline() {
+        let domain = generate(&stock_config(33).scaled(0.01, 0.15));
+        let indices: Vec<usize> = (0..domain.collection.num_days()).collect();
+        let parallel = ParallelRunner::new()
+            .with_known_copying()
+            .evaluate_days(&domain.collection, &indices);
+        let sequential = evaluate_days_sequential(&domain.collection, &indices, true);
+        assert_eq!(parallel.days.len(), sequential.len());
+        for (p, s) in parallel.days.iter().zip(&sequential) {
+            assert_eq!(p.day, s.day);
+            assert!(same_results(&p.rows, &s.rows), "day {} diverged", p.day_index);
+        }
+    }
+
+    #[test]
+    fn with_known_copying_applies_to_single_context_evaluation() {
+        let domain = generate(&stock_config(35).scaled(0.015, 0.1));
+        let day = domain.collection.reference_day();
+
+        // A plain context handed to a with_known_copying runner must behave
+        // exactly like a context that was enriched with the oracle upfront.
+        let plain = EvaluationContext::new(&day.snapshot, &day.gold);
+        let from_runner = ParallelRunner::new()
+            .with_known_copying()
+            .evaluate_all_methods(&plain);
+
+        let report = copydetect::known_copying(day.snapshot.schema());
+        let enriched =
+            EvaluationContext::new(&day.snapshot, &day.gold).with_known_copying(&report);
+        let from_context = evaluate_all_methods(&enriched);
+
+        assert!(
+            same_results(&from_runner, &from_context),
+            "runner-level with_known_copying diverged from context-level oracle"
+        );
+    }
+
+    #[test]
+    fn map_days_preserves_order() {
+        let domain = generate(&stock_config(34).scaled(0.01, 0.2));
+        let stamps: Vec<u32> =
+            ParallelRunner::new().map_days(&domain.collection, |day| day.snapshot.day());
+        let expected: Vec<u32> = domain.collection.days().map(|d| d.snapshot.day()).collect();
+        assert_eq!(stamps, expected);
+    }
+}

@@ -14,6 +14,11 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Everything needed to evaluate methods on one snapshot.
+///
+/// Cloning is cheap relative to construction: the snapshot and gold standard
+/// are borrowed, so only the prepared problem and sampled trust are copied
+/// (no re-preparation or re-sampling happens).
+#[derive(Clone)]
 pub struct EvaluationContext<'a> {
     /// The observation table.
     pub snapshot: &'a Snapshot,

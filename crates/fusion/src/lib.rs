@@ -20,6 +20,8 @@
 //! sixteen paper configurations in Table-7 order, or
 //! [`registry::method_by_name`].
 
+#![deny(missing_docs)]
+
 pub mod methods;
 pub mod problem;
 pub mod registry;

@@ -1,6 +1,11 @@
 //! Bayesian methods: TRUTHFINDER and the ACCU family (ACCUPR, POPACCU,
 //! ACCUSIM, ACCUFORMAT and the per-attribute variants).
 //!
+//! Reproduces the "Bayesian based" category of the paper's Table 6 (rows
+//! 9-15 of Table 7). The `*ATTR` variants are the paper's best performers on
+//! Stock (Table 7: .929/.930) and the subject of the Table-8 pairwise
+//! comparison; Figure 12 shows they are also among the slowest.
+//!
 //! TRUTHFINDER (Yin et al., TKDE 2008) computes the probability of a value
 //! being true conditioned on its providers via a log-odds accumulation and a
 //! sigmoid, boosting values by their similar peers. The ACCU family (Dong et

@@ -1,5 +1,10 @@
 //! ACCUCOPY: the copying-aware member of the ACCU family.
 //!
+//! Reproduces the "Copying affected" category of the paper's Table 6 (the
+//! last row of Table 7): the paper's best method on Flight (.943 without
+//! input trust, .960 with oracle trust and the claimed copy relations of
+//! Table 5) and its slowest (Figure 12: 855 s on the Stock snapshot).
+//!
 //! ACCUCOPY augments ACCUFORMAT by weighting the vote of every provider by
 //! the probability that it provided the value *independently* (Dong et al.,
 //! PVLDB 2009). Copy probabilities either come from the caller (the paper's

@@ -1,6 +1,9 @@
 //! IR-based methods: COSINE, 2-ESTIMATES, 3-ESTIMATES (Galland et al.,
 //! WSDM 2010).
 //!
+//! Reproduces the "IR based" category of the paper's Table 6 (rows 6-8 of
+//! Table 7); Section 4.1 discusses their sensitivity to the complement vote.
+//!
 //! These methods treat a source's claims as a ±1 vector over the candidate
 //! values of the items it covers: +1 for the value it provides, −1 for the
 //! competing values (the "complement vote"). COSINE measures source trust as

@@ -1,4 +1,8 @@
 //! VOTE: the baseline strategy of taking the dominant value.
+//!
+//! Reproduces the "Baseline" category of the paper's Table 6 and the first
+//! row of Table 7; its precision equals the dominant-value precision studied
+//! in Section 3.2 (Figure 7).
 
 use crate::methods::FusionMethod;
 use crate::problem::FusionProblem;

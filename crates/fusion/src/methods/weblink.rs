@@ -1,5 +1,9 @@
 //! Web-link based methods: HUB, AVGLOG, INVEST, POOLEDINVEST.
 //!
+//! Reproduces the "Web-link based" category of the paper's Table 6 (rows
+//! 2-5 of Table 7); the discussion of their trust deviation is in
+//! Section 4.1 and Figure 12 times them.
+//!
 //! These methods are inspired by measuring web-page authority from link
 //! analysis (Kleinberg's hubs and authorities) and by the fact-finding
 //! framework of Pasternack & Roth. Source trust and value votes reinforce

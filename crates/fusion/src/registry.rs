@@ -1,4 +1,12 @@
 //! Registry of the sixteen paper methods, in Table-7 order.
+//!
+//! Table 6 of the paper groups the methods into five categories
+//! ([`MethodCategory`]); Table 7 evaluates all sixteen configurations on
+//! both domains in the exact order [`all_methods`] returns them. The
+//! category → source-file mapping is: Baseline → `methods/vote.rs`,
+//! Web-link based → `methods/weblink.rs`, IR based → `methods/ir.rs`,
+//! Bayesian based → `methods/bayesian.rs`, Copying affected →
+//! `methods/copyaware.rs`.
 
 use crate::methods::{
     Accu, AccuCopy, AvgLog, Cosine, FusionMethod, Hub, Invest, PooledInvest, ThreeEstimates,

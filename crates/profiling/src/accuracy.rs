@@ -102,10 +102,24 @@ pub fn accuracy_histogram(accuracies: &[SourceAccuracy]) -> Vec<f64> {
 
 /// Per-source accuracy trajectory over a collection (Figure 8(b)).
 pub fn accuracy_over_time(collection: &Collection) -> Vec<SourceAccuracyOverTime> {
+    accuracy_over_time_from_daily(
+        collection
+            .days()
+            .map(|day| source_accuracies(&day.snapshot, &day.gold)),
+    )
+}
+
+/// Merge per-day accuracy measurements (one `Vec<SourceAccuracy>` per day,
+/// in day order) into per-source trajectories. Split out from
+/// [`accuracy_over_time`] so the per-day measurements can be computed on a
+/// parallel runner and merged here.
+pub fn accuracy_over_time_from_daily(
+    per_day: impl IntoIterator<Item = Vec<SourceAccuracy>>,
+) -> Vec<SourceAccuracyOverTime> {
     let mut daily: BTreeMap<SourceId, Vec<f64>> = BTreeMap::new();
     let mut names: BTreeMap<SourceId, String> = BTreeMap::new();
-    for day in collection.days() {
-        for acc in source_accuracies(&day.snapshot, &day.gold) {
+    for day_accuracies in per_day {
+        for acc in day_accuracies {
             names.entry(acc.source).or_insert_with(|| acc.name.clone());
             if let Some(a) = acc.accuracy {
                 daily.entry(acc.source).or_default().push(a);

@@ -20,8 +20,8 @@ pub mod reasons;
 pub mod redundancy;
 
 pub use accuracy::{
-    accuracy_histogram, accuracy_over_time, authority_report, source_accuracies, source_accuracy,
-    SourceAccuracy, SourceAccuracyOverTime,
+    accuracy_histogram, accuracy_over_time, accuracy_over_time_from_daily, authority_report,
+    source_accuracies, source_accuracy, SourceAccuracy, SourceAccuracyOverTime,
 };
 pub use copying::{all_copy_group_stats, copy_group_stats, value_commonality, CopyGroupStats};
 pub use coverage::{attribute_coverage_cdf, fraction_covered_by, CoveragePoint};

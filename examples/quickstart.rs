@@ -35,8 +35,8 @@ fn main() {
     builder.add(airline, flight, sched, Value::time(18 * 60 + 15));
     builder.add(orbitz, flight, sched, Value::time(18 * 60 + 15));
     builder.add(tracker, flight, sched, Value::time(18 * 60 + 15));
-    builder.add(aggregator, flight, sched, Value::time(19 * 60 + 0));
-    builder.add(mirror, flight, sched, Value::time(19 * 60 + 0));
+    builder.add(aggregator, flight, sched, Value::time(19 * 60));
+    builder.add(mirror, flight, sched, Value::time(19 * 60));
 
     builder.add(airline, flight, actual, Value::time(18 * 60 + 27));
     builder.add(orbitz, flight, actual, Value::time(18 * 60 + 25));

@@ -8,8 +8,13 @@ fn stock_domain() -> GeneratedDomain {
     generate(&stock_config(2012).scaled(0.06, 0.15))
 }
 
+// Scale 0.15 (180 flights), not smaller: the Section-3.4 copier-removal
+// effect is a statistical claim about the planted copy groups, and below
+// ~150 flights the five groups are thin enough that an unlucky stream can
+// invert it (0.08 with this seed loses 2.6 points; every probed seed at
+// 0.15+ gains 0.5-11 points, matching the paper's .864 -> .927).
 fn flight_domain() -> GeneratedDomain {
-    generate(&flight_config(20_120_826).scaled(0.08, 0.1))
+    generate(&flight_config(20_120_826).scaled(0.15, 0.1))
 }
 
 #[test]

@@ -1,0 +1,209 @@
+//! Offline stub of `proptest`.
+//!
+//! The build container has no network access, so this crate reimplements the
+//! subset of the proptest API the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` attribute,
+//! range and `prop::collection::vec` strategies, and the `prop_assert*`
+//! macros.
+//!
+//! Unlike real proptest there is **no shrinking** and no failure-persistence
+//! file: each test runs `cases` iterations with inputs drawn from a seed
+//! derived deterministically from the test's name (so a failure reproduces
+//! exactly on re-run), and assertion failures panic immediately with the
+//! case number in the message.
+
+#![deny(missing_docs)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Per-test configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator; mirrors `proptest::strategy::Strategy` (minus
+/// shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy combinators namespaced like the real crate (`prop::collection`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::Strategy;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generate vectors whose elements come from `elem` and whose length
+        /// is drawn uniformly from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(!size.is_empty(), "prop::collection::vec: empty size range");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+                use rand::Rng;
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs; mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Derive a stable per-test seed from the test name, so failures reproduce.
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    seed
+}
+
+/// Define property tests; mirrors `proptest::proptest!`.
+///
+/// Supports the forms used in the workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(1usize..9, 1..4)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::__seed_for(stringify!($name));
+                for case in 0..config.cases {
+                    let mut __proptest_rng =
+                        <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                            seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        );
+                    $(
+                        let $arg =
+                            $crate::Strategy::sample(&($strategy), &mut __proptest_rng);
+                    )*
+                    let run = || -> () { $body };
+                    run();
+                    let _ = case;
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property test; mirrors
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property test; mirrors
+/// `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10.0f64..20.0, n in 1usize..5) {
+            prop_assert!((10.0..20.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::__seed_for("a"), crate::__seed_for("a"));
+        assert_ne!(crate::__seed_for("a"), crate::__seed_for("b"));
+    }
+}

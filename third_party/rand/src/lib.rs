@@ -1,0 +1,306 @@
+//! Offline stub of `rand`.
+//!
+//! The build container has no network access, so this crate reimplements the
+//! small slice of the `rand` 0.8 API the workspace uses: [`SeedableRng::
+//! seed_from_u64`], [`rngs::StdRng`], and the [`Rng`] methods `gen`,
+//! `gen_bool`, and `gen_range` over primitive ranges.
+//!
+//! The generator is **xoshiro256++** seeded through SplitMix64 — a different
+//! stream than real rand's ChaCha12-based `StdRng`, but every consumer in the
+//! workspace only relies on *seed determinism* (same seed ⇒ same stream),
+//! never on a specific stream. Streams are stable across platforms and
+//! releases of this stub; changing them invalidates every calibrated
+//! statistical assertion in the workspace, so don't.
+
+#![deny(missing_docs)]
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Create a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step, used to expand a `u64` seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Stands in for `rand::rngs::StdRng`; see the crate docs for why the
+    /// stream differs from real rand (and why that is fine here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Advance the generator and return the next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            // xoshiro state must not be all zero; SplitMix64 guarantees a
+            // well-mixed non-degenerate state for any input.
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            StdRng::next_u64(self)
+        }
+    }
+}
+
+/// Object-safe core of a generator: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the type).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        // Match rand's edge-case contract: gen_bool(1.0) is always true.
+        if p >= 1.0 {
+            return true;
+        }
+        f64::sample(self) < p
+    }
+
+    /// Sample uniformly from a half-open range `lo..hi` (`lo < hi` required).
+    ///
+    /// The element type is a direct type parameter (as in real rand) so an
+    /// untyped integer literal range infers its type from the call site.
+    #[inline]
+    fn gen_range<T, Range: SampleRange<T>>(&mut self, range: Range) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from the standard distribution for this type.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`], producing elements of type `T`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty f32 range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty => $wide:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for std::ops::Range<$ty> {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty integer range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    // Multiply-shift uniform mapping (Lemire); the tiny
+                    // modulo bias of the plain approach is irrelevant for
+                    // simulation but this is just as cheap.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    (self.start as $wide).wrapping_add(hi as $wide) as $ty
+                }
+            }
+            impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty inclusive range");
+                    if lo == <$ty>::MIN && hi == <$ty>::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    (lo..hi + 1).sample(rng)
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(11..90i64);
+            assert!((11..90).contains(&i));
+            let u = rng.gen_range(0..3usize);
+            assert!(u < 3);
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..3usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn works_through_mut_ref_impl_rng() {
+        fn draw(rng: &mut impl Rng) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stub of `rayon`.
+//!
+//! The build container has no network access, so this crate reimplements the
+//! narrow slice of the rayon API the workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `.map(..).collect::<Vec<_>>()` — on top of
+//! `std::thread::scope`.
+//!
+//! Scheduling is *dynamic*: workers claim one item at a time from a shared
+//! atomic cursor, so wildly uneven task costs (an `AccuCopy` run takes
+//! hundreds of times longer than a `Vote` run) still balance across cores.
+//! Results are returned in input order regardless of completion order, and a
+//! panic in any task propagates to the caller once the scope joins, matching
+//! rayon's semantics. There is no global thread pool: each `collect` spawns
+//! its own scoped workers, which is fine at the workspace's granularity
+//! (tens of expensive tasks, not millions of cheap ones).
+
+#![deny(missing_docs)]
+
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used for a parallel call: the machine's
+/// available parallelism, overridable (mainly for tests and sequential
+/// baselines) with the `RAYON_NUM_THREADS` environment variable, like rayon.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The rayon-compatible prelude; `use rayon::prelude::*` pulls in the
+/// conversion traits and the iterator adaptors.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Run `f(i)` for every `i < len` on a scoped worker pool, collecting the
+/// results in index order. `f` only sees indices, so callers decide how an
+/// index maps to an item (shared slice read or owned-slot take).
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut indexed: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A parallel iterator: something that can push its items through a mapping
+/// function on multiple threads and return the results in input order.
+pub trait ParallelIterator: Sized {
+    /// The item type produced by this iterator.
+    type Item: Send;
+
+    /// Drive the whole pipeline through `f` in parallel, in input order.
+    /// (The stub's internal engine; rayon exposes richer consumers.)
+    fn drive<R: Send>(self, f: &(impl Fn(Self::Item) -> R + Sync)) -> Vec<R>;
+
+    /// Map every item through `f`; lazy, like rayon — work happens at
+    /// [`collect`](Self::collect).
+    fn map<R, F>(self, f: F) -> Map<Self, F, R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map {
+            base: self,
+            f,
+            _r: PhantomData,
+        }
+    }
+
+    /// Execute the pipeline and gather the results in input order.
+    fn collect<C>(self) -> C
+    where
+        C: From<Vec<Self::Item>>,
+    {
+        C::from(self.drive(&|item| item))
+    }
+}
+
+/// Lazily mapped parallel iterator (the stub's `rayon::iter::Map`).
+pub struct Map<B, F, R> {
+    base: B,
+    f: F,
+    _r: PhantomData<fn() -> R>,
+}
+
+impl<B, F, R0> ParallelIterator for Map<B, F, R0>
+where
+    B: ParallelIterator,
+    R0: Send,
+    F: Fn(B::Item) -> R0 + Sync + Send,
+{
+    type Item = R0;
+
+    fn drive<R: Send>(self, f: &(impl Fn(R0) -> R + Sync)) -> Vec<R> {
+        let inner = self.f;
+        self.base.drive(&move |item| f(inner(item)))
+    }
+}
+
+/// Parallel iterator over `&[T]` (the result of [`par_iter`]).
+///
+/// [`par_iter`]: IntoParallelRefIterator::par_iter
+pub struct SliceIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn drive<R: Send>(self, f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+        run_indexed(self.items.len(), |i| f(&self.items[i]))
+    }
+}
+
+/// Owning parallel iterator over a `Vec<T>` (the result of
+/// [`into_par_iter`]).
+///
+/// Items are moved out of locked slots as workers claim them; each slot is
+/// claimed exactly once, so the locks never contend beyond the claim itself.
+///
+/// [`into_par_iter`]: IntoParallelIterator::into_par_iter
+pub struct VecIter<T: Send> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive<R: Send>(self, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+        let slots = self.slots;
+        run_indexed(slots.len(), |i| {
+            f(slots[i]
+                .lock()
+                .expect("rayon stub: slot lock poisoned")
+                .take()
+                .expect("rayon stub: slot claimed twice"))
+        })
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator that owns the items.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter {
+            slots: self.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecIter<usize>;
+
+    fn into_par_iter(self) -> VecIter<usize> {
+        self.collect::<Vec<_>>().into_par_iter()
+    }
+}
+
+/// Types whose references yield a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type (a reference).
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterate the items by reference, in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let input: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let lens: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 64);
+        assert_eq!(lens[0], "item-0".len());
+        assert_eq!(lens[63], "item-63".len());
+    }
+
+    #[test]
+    fn uneven_tasks_still_ordered() {
+        // Make early items slow so completion order inverts input order.
+        let out: Vec<usize> = (0usize..16)
+            .into_par_iter()
+            .map(|i| {
+                std::thread::sleep(std::time::Duration::from_millis((16 - i as u64) * 2));
+                i * i
+            })
+            .collect();
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = Vec::<i32>::new().par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let input: Vec<i64> = (0..100).collect();
+        let out: Vec<i64> = input.par_iter().map(|x| x + 1).map(|x| x * 3).collect();
+        assert_eq!(out[9], 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let input: Vec<u32> = (0..8).collect();
+        let _: Vec<u32> = input
+            .par_iter()
+            .map(|x| if *x == 5 { panic!("boom") } else { *x })
+            .collect();
+    }
+}

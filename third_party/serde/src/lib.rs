@@ -1,0 +1,53 @@
+//! Offline stub of `serde`.
+//!
+//! The build container has no network access, so the real `serde` cannot be
+//! fetched or vendored. The workspace keeps its `#[derive(Serialize,
+//! Deserialize)]` annotations — they document which types are meant to be
+//! exportable report rows — and this stub makes them compile: [`Serialize`]
+//! and [`Deserialize`] are empty marker traits, and the derives (re-exported
+//! from the sibling `serde_derive` stub) emit empty impls.
+//!
+//! Nothing in the workspace performs actual serialization (report output
+//! goes through the `bench` crate's plain-text tables), so no serializer
+//! machinery is needed. Swapping in the real serde is a Cargo.toml-only
+//! change; the source is already written against the real API.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Real serde's trait has a `serialize` method driven by a `Serializer`;
+/// the workspace never calls it, so the stub carries no methods.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, char, String, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize,
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl Serialize for std::time::Duration {}

@@ -1,0 +1,121 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no network access, so the real `serde` cannot be
+//! vendored. This proc-macro crate accepts `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` on plain (non-generic) structs and enums and
+//! emits empty implementations of the marker traits defined by the sibling
+//! `serde` stub crate. The derives therefore keep compiling exactly as they
+//! would against real serde, and the annotations keep documenting which
+//! types are intended to be exportable rows; swapping in the real serde
+//! later is a Cargo.toml-only change.
+//!
+//! Implemented without `syn`/`quote` (also unavailable offline): the input
+//! token stream is scanned manually for the `struct`/`enum`/`union` keyword
+//! and the following type name.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the type a derive macro was applied to, plus its
+/// generic parameter list (raw token text between `<` and the matching `>`),
+/// by scanning past attributes and visibility modifiers.
+fn type_name_and_generics(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            // Skip attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(ref p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(ref ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("serde stub derive: expected a type name, got {other:?}"),
+                    };
+                    let generics = collect_generics(&mut tokens);
+                    return (name, generics);
+                }
+                // `pub`, `pub(crate)` (the group is consumed on its own
+                // iteration), and anything else before the keyword: skip.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct/enum/union found in derive input");
+}
+
+/// If the next token starts a generic parameter list, consume it (balancing
+/// nested `<`/`>`) and return its text, e.g. `"'a, T"`. Returns an empty
+/// string for non-generic types.
+fn collect_generics(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> String {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return String::new(),
+    }
+    let _ = tokens.next(); // consume '<'
+    let mut depth = 1usize;
+    let mut text = String::new();
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        text.push_str(&token.to_string());
+        text.push(' ');
+    }
+    text
+}
+
+/// Strip default arguments (`= Foo`) and bounds (`: Bound`) from a generic
+/// parameter list so it can be reused as generic *arguments* on the type.
+fn generic_args(params: &str) -> String {
+    params
+        .split(',')
+        .map(|param| {
+            let param = param.split(['=', ':']).next().unwrap_or("").trim();
+            // Drop `const` from const-generic parameters when reusing as args.
+            param.strip_prefix("const ").unwrap_or(param).trim()
+        })
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, params) = type_name_and_generics(input);
+    let args = generic_args(&params);
+    let (impl_params, type_args) = if params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (format!("<{params}>"), format!("<{args}>"))
+    };
+    format!("impl{impl_params} ::serde::Serialize for {name}{type_args} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, params) = type_name_and_generics(input);
+    let args = generic_args(&params);
+    let (impl_params, type_args) = if params.is_empty() {
+        ("<'de_stub>".to_string(), String::new())
+    } else {
+        (format!("<'de_stub, {params}>"), format!("<{args}>"))
+    };
+    format!("impl{impl_params} ::serde::Deserialize<'de_stub> for {name}{type_args} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
