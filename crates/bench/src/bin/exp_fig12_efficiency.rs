@@ -15,12 +15,12 @@
 //! Both passes must agree on every result row (fusion is deterministic);
 //! the binary asserts that.
 
-use bench::{ExpArgs, Table};
+use bench::{ExpArgs, Json, Table};
 use datagen::GeneratedDomain;
 use evaluation::{evaluate_days_sequential, same_results, ParallelRunner};
 use std::time::{Duration, Instant};
 
-fn report(domain: &GeneratedDomain) {
+fn report(domain: &GeneratedDomain) -> Json {
     // Evaluate the reference day plus the surrounding days (up to three) in
     // one batch, so the timing summary reflects a realistic multi-snapshot
     // evaluation workload.
@@ -109,14 +109,60 @@ fn report(domain: &GeneratedDomain) {
         );
     }
     println!();
+
+    // Machine-readable record for the perf trajectory (BENCH_fig12.json):
+    // reference-day per-method timings from the uncontended sequential pass,
+    // plus the measured pipeline-level wall clocks.
+    let methods = Json::Array(
+        reference_rows
+            .iter()
+            .map(|row| {
+                Json::object()
+                    .field("method", Json::string(&row.method))
+                    .field("elapsed_s", Json::Number(row.elapsed.as_secs_f64()))
+                    .field("precision", Json::Number(row.precision_without_trust))
+                    .field("rounds", Json::int(row.rounds))
+            })
+            .collect(),
+    );
+    Json::object()
+        .field("domain", Json::string(&domain.config.domain))
+        .field("num_items", Json::int(day.snapshot.num_items()))
+        .field("num_sources", Json::int(day.snapshot.active_sources().len()))
+        .field("days_evaluated", Json::int(day_indices.len()))
+        .field("sequential_wall_s", Json::Number(sequential_wall.as_secs_f64()))
+        .field(
+            "parallel_wall_s",
+            Json::Number(evaluation.wall_clock.as_secs_f64()),
+        )
+        .field("fanout_speedup", Json::Number(measured_speedup))
+        .field("threads", Json::int(evaluation.threads))
+        .field("methods", methods)
 }
 
 fn main() {
     let args = ExpArgs::from_env();
     let (stock, flight) = args.both_domains("Figure 12");
-    report(&stock);
-    report(&flight);
+    let stock_json = report(&stock);
+    let flight_json = report(&flight);
     println!("Paper: VOTE finishes in under a second, most methods within 1-10 s, the ATTR");
     println!("       variants in 100-250 s, and AccuCopy in 855 s on Stock; longer execution");
     println!("       time does not guarantee better results.");
+
+    // Emit the trajectory artifact so per-method timings are comparable
+    // across PRs (elapsed fields are machine-dependent; compare like with
+    // like). Path override: BENCH_FIG12_OUT.
+    let out_path =
+        std::env::var("BENCH_FIG12_OUT").unwrap_or_else(|_| "BENCH_fig12.json".to_string());
+    let doc = Json::object()
+        .field("schema_version", Json::int(1))
+        .field("experiment", Json::string("fig12_efficiency"))
+        .field("seed", Json::int(args.seed as usize))
+        .field("scale", Json::Number(args.scale))
+        .field("days", Json::Number(args.days))
+        .field("domains", Json::Array(vec![stock_json, flight_json]));
+    match std::fs::write(&out_path, doc.render()) {
+        Ok(()) => println!("\nWrote {out_path}"),
+        Err(e) => eprintln!("\nCould not write {out_path}: {e}"),
+    }
 }

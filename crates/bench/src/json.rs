@@ -1,0 +1,167 @@
+//! Minimal JSON emission for machine-readable benchmark artifacts.
+//!
+//! The workspace's `serde` is an offline marker-trait stub (see
+//! `third_party/README.md`), so artifacts like `BENCH_fig12.json` are built
+//! with this small value tree instead. It covers exactly what the benchmark
+//! reports need: objects with ordered keys, arrays, strings, numbers, and
+//! booleans, rendered with stable two-space indentation so the artifact
+//! diffs cleanly across PRs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object; keys keep their insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> Self {
+        Json::String(s.into())
+    }
+
+    /// An integer value (exact for |n| ≤ 2⁵³).
+    pub fn int(n: usize) -> Self {
+        Json::Number(n as f64)
+    }
+
+    /// An empty object builder.
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Append a field to an object (panics on non-objects — builder misuse).
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Number(n) if n.is_finite() => {
+                // Integral values print without a fraction; everything else
+                // uses the shortest round-trip form.
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Number(_) => out.push_str("null"),
+            Json::String(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{key}\": ");
+                    value.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::object()
+            .field("name", Json::string("fig12"))
+            .field("ok", Json::Bool(true))
+            .field("count", Json::int(3))
+            .field("ratio", Json::Number(0.125))
+            .field("items", Json::Array(vec![Json::int(1), Json::Null]))
+            .field("empty", Json::object());
+        let text = doc.render();
+        assert!(text.starts_with("{\n"));
+        assert!(text.contains("\"name\": \"fig12\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"ratio\": 0.125"));
+        assert!(text.contains("\"empty\": {}"));
+        assert!(text.ends_with("}\n"));
+        // Every line is valid: no trailing commas before closers.
+        assert!(!text.contains(",\n}") && !text.contains(",\n]"));
+    }
+
+    #[test]
+    fn escapes_strings_and_hides_non_finite_numbers() {
+        let doc = Json::Array(vec![
+            Json::string("a\"b\\c\nd\te"),
+            Json::Number(f64::NAN),
+            Json::Number(f64::INFINITY),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"a\\\"b\\\\c\\nd\\te\""));
+        assert_eq!(text.matches("null").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_array_panics() {
+        let _ = Json::Array(vec![]).field("x", Json::Null);
+    }
+}

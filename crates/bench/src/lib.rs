@@ -4,8 +4,10 @@
 //! See DESIGN.md for the experiment index (which binary regenerates which
 //! table/figure) and EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod json;
 pub mod report;
 pub mod setup;
 
+pub use json::Json;
 pub use report::{format_percent, Table};
 pub use setup::{vs_paper, ExpArgs};

@@ -150,23 +150,28 @@ impl CopyDetector {
     /// values; the gold standard can be used for oracle experiments).
     pub fn detect(&self, snapshot: &Snapshot, reference: &GoldStandard) -> CopyReport {
         let sources: Vec<SourceId> = snapshot.active_sources().into_iter().collect();
-        let error_rates: BTreeMap<SourceId, f64> = sources
+        let source_index: std::collections::HashMap<SourceId, usize> = sources
             .iter()
-            .map(|s| (*s, self.error_rate(snapshot, reference, *s)))
+            .enumerate()
+            .map(|(i, s)| (*s, i))
             .collect();
 
-        // Index claims per source for fast pair iteration.
-        let claims: BTreeMap<SourceId, BTreeMap<ItemId, &Value>> = sources
-            .iter()
-            .map(|s| {
-                let mut m = BTreeMap::new();
-                for (item, obs) in snapshot.items() {
-                    if let Some(o) = obs.iter().find(|o| o.source == *s) {
-                        m.insert(*item, &o.value);
-                    }
+        // Index every source's claims in ONE pass over the observation table
+        // (items arrive in increasing item order, so each per-source list is
+        // item-sorted and pair scoring can merge-join two lists instead of
+        // re-scanning the snapshot per source).
+        let mut claims: Vec<Vec<(ItemId, &Value)>> = vec![Vec::new(); sources.len()];
+        for (item, obs) in snapshot.items() {
+            for o in obs {
+                if let Some(&s) = source_index.get(&o.source) {
+                    claims[s].push((*item, &o.value));
                 }
-                (*s, m)
-            })
+            }
+        }
+
+        let error_rates: Vec<f64> = claims
+            .iter()
+            .map(|c| self.error_rate(snapshot, reference, c))
             .collect();
 
         let mut report = CopyReport {
@@ -175,18 +180,16 @@ impl CopyDetector {
         };
         for i in 0..sources.len() {
             for j in (i + 1)..sources.len() {
-                let a = sources[i];
-                let b = sources[j];
                 let p = self.pair_probability(
                     snapshot,
                     reference,
-                    &claims[&a],
-                    &claims[&b],
-                    error_rates[&a],
-                    error_rates[&b],
+                    &claims[i],
+                    &claims[j],
+                    error_rates[i],
+                    error_rates[j],
                 );
                 if let Some(p) = p {
-                    report.insert(a, b, p);
+                    report.insert(sources[i], sources[j], p);
                 }
             }
         }
@@ -195,11 +198,16 @@ impl CopyDetector {
 
     /// Estimate a source's error rate against the reference (falls back to
     /// the configured default when coverage is too small).
-    fn error_rate(&self, snapshot: &Snapshot, reference: &GoldStandard, source: SourceId) -> f64 {
+    fn error_rate(
+        &self,
+        snapshot: &Snapshot,
+        reference: &GoldStandard,
+        claims: &[(ItemId, &Value)],
+    ) -> f64 {
         let mut judged = 0usize;
         let mut wrong = 0usize;
-        for (item, truth) in reference.iter() {
-            if let Some(value) = snapshot.value_of(source, *item) {
+        for (item, value) in claims {
+            if let Some(truth) = reference.get(*item) {
                 let tol = snapshot.tolerance().tolerance(item.attr);
                 judged += 1;
                 if !truth.matches(value, tol) && !value.subsumes(truth) {
@@ -215,14 +223,15 @@ impl CopyDetector {
     }
 
     /// Posterior copy probability of one pair, or `None` when the pair shares
-    /// too few items.
+    /// too few items. Both claim lists are item-sorted; shared items are
+    /// found by a linear merge join.
     #[allow(clippy::too_many_arguments)]
     fn pair_probability(
         &self,
         snapshot: &Snapshot,
         reference: &GoldStandard,
-        claims_a: &BTreeMap<ItemId, &Value>,
-        claims_b: &BTreeMap<ItemId, &Value>,
+        claims_a: &[(ItemId, &Value)],
+        claims_b: &[(ItemId, &Value)],
         error_a: f64,
         error_b: f64,
     ) -> Option<f64> {
@@ -232,14 +241,22 @@ impl CopyDetector {
 
         let mut shared = 0usize;
         let mut llr = 0.0f64;
-        for (item, va) in claims_a {
-            let Some(vb) = claims_b.get(item) else {
+        let mut ib = 0usize;
+        for &(item, va) in claims_a {
+            while ib < claims_b.len() && claims_b[ib].0 < item {
+                ib += 1;
+            }
+            if ib == claims_b.len() {
+                break;
+            }
+            let (item_b, vb) = claims_b[ib];
+            if item_b != item {
                 continue;
-            };
+            }
             shared += 1;
             let tol = snapshot.tolerance().tolerance(item.attr);
             let same = va.matches(vb, tol);
-            let truth = reference.get(*item);
+            let truth = reference.get(item);
             // Probabilities under the independence model.
             let p_same_true_indep = (1.0 - error_a) * (1.0 - error_b);
             let p_same_false_indep = error_a * error_b / n;

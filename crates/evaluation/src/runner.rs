@@ -6,33 +6,36 @@ use crate::metrics::{precision_recall, sampled_trust, trust_deviation_and_differ
 use copydetect::CopyReport;
 use datamodel::{GoldStandard, Snapshot};
 use fusion::{
-    all_methods, method_by_name, FusionMethod, FusionOptions, FusionProblem, FusionResult,
-    MethodCategory,
+    all_methods, method_by_name, CopyMatrix, FusionMethod, FusionOptions, FusionProblem,
+    FusionResult, MethodCategory,
 };
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Everything needed to evaluate methods on one snapshot.
 ///
-/// Cloning is cheap relative to construction: the snapshot and gold standard
-/// are borrowed, so only the prepared problem and sampled trust are copied
-/// (no re-preparation or re-sampling happens).
+/// Cloning is cheap: the snapshot and gold standard are borrowed, the
+/// prepared problem (with all its `Value` strings) sits behind an `Arc`
+/// shared by every clone, and only the sampled-trust vector and optional
+/// copy matrix are flat copies — so parallel runners can hand contexts
+/// around without re-preparing or duplicating the problem.
 #[derive(Clone)]
 pub struct EvaluationContext<'a> {
     /// The observation table.
     pub snapshot: &'a Snapshot,
     /// The gold standard precision is measured against.
     pub gold: &'a GoldStandard,
-    /// The prepared fusion problem (built once, shared by all methods).
-    pub problem: FusionProblem,
+    /// The prepared fusion problem (built once, shared by all methods and all
+    /// clones of the context).
+    pub problem: Arc<FusionProblem>,
     /// Sampled source trust (accuracy against the gold standard), used for
     /// the "with trust" runs and for trust deviation/difference.
     pub sampled_trust: Vec<f64>,
     /// Known copy probabilities (dense source-index pairs) used by copy-aware
     /// methods in the oracle runs; typically derived from the planted or
     /// claimed copy groups (Table 5).
-    pub known_copying: Option<BTreeMap<(usize, usize), f64>>,
+    pub known_copying: Option<CopyMatrix>,
 }
 
 impl<'a> EvaluationContext<'a> {
@@ -43,7 +46,7 @@ impl<'a> EvaluationContext<'a> {
         Self {
             snapshot,
             gold,
-            problem,
+            problem: Arc::new(problem),
             sampled_trust,
             known_copying: None,
         }
@@ -57,19 +60,16 @@ impl<'a> EvaluationContext<'a> {
     }
 }
 
-/// Convert a [`CopyReport`] (source-id keyed) into the dense source-index map
-/// the fusion options expect.
-pub fn copy_report_to_dense(
-    report: &CopyReport,
-    problem: &FusionProblem,
-) -> BTreeMap<(usize, usize), f64> {
-    let mut map = BTreeMap::new();
+/// Convert a [`CopyReport`] (source-id keyed) into the dense source-index
+/// matrix the fusion options expect.
+pub fn copy_report_to_dense(report: &CopyReport, problem: &FusionProblem) -> CopyMatrix {
+    let mut matrix = CopyMatrix::new(problem.num_sources());
     for ((a, b), p) in report.pairs() {
         if let (Some(i), Some(j)) = (problem.source_index(*a), problem.source_index(*b)) {
-            map.insert((i.min(j), i.max(j)), *p);
+            matrix.set(i, j, *p);
         }
     }
-    map
+    matrix
 }
 
 /// Table-7 row for one method.
@@ -215,11 +215,12 @@ mod tests {
         let report = known_copying(day.snapshot.schema());
         let problem = FusionProblem::from_snapshot(&day.snapshot);
         let dense = copy_report_to_dense(&report, &problem);
-        assert!(!dense.is_empty());
-        for ((a, b), p) in &dense {
+        assert!(dense.num_scored() > 0);
+        assert_eq!(dense.num_sources(), problem.num_sources());
+        for ((a, b), p) in dense.pairs() {
             assert!(a < b);
-            assert!(*b < problem.num_sources());
-            assert!(*p > 0.99);
+            assert!(b < problem.num_sources());
+            assert!(p > 0.99);
         }
     }
 }

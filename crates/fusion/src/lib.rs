@@ -22,11 +22,13 @@
 
 #![deny(missing_docs)]
 
+pub mod copymatrix;
 pub mod methods;
 pub mod problem;
 pub mod registry;
 pub mod types;
 
+pub use copymatrix::CopyMatrix;
 pub use methods::FusionMethod;
 pub use problem::{Candidate, FusionProblem, PreparedItem};
 pub use registry::{all_methods, method_by_name, MethodCategory};

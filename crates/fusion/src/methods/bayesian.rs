@@ -21,6 +21,17 @@ use crate::problem::{FusionProblem, PreparedItem};
 use crate::types::{argmax_selection, FusionOptions, FusionResult, TrustEstimate};
 use std::time::Instant;
 
+/// Largest candidate count of any item — the size the per-item scratch
+/// buffers of the iterative methods need.
+pub(crate) fn max_candidates(problem: &FusionProblem) -> usize {
+    problem
+        .items
+        .iter()
+        .map(|i| i.candidates.len())
+        .max()
+        .unwrap_or(0)
+}
+
 /// TRUTHFINDER (Yin et al.).
 #[derive(Debug, Clone, Copy)]
 pub struct TruthFinder {
@@ -55,21 +66,19 @@ impl FusionMethod for TruthFinder {
             .iter()
             .map(|i| vec![0.0; i.candidates.len()])
             .collect();
+        let mut raw = vec![0.0; max_candidates(problem)];
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
             for (i, item) in problem.items.iter().enumerate() {
                 // Raw trustworthiness score: sum of -ln(1 - τ) over providers.
-                let raw: Vec<f64> = item
-                    .candidates
-                    .iter()
-                    .map(|cand| {
-                        cand.providers
-                            .iter()
-                            .map(|&s| -(1.0 - trust.of(s, item.attr).min(0.999)).ln())
-                            .sum()
-                    })
-                    .collect();
+                for (c, cand) in item.candidates.iter().enumerate() {
+                    raw[c] = cand
+                        .providers
+                        .iter()
+                        .map(|&s| -(1.0 - trust.of(s, item.attr).min(0.999)).ln())
+                        .sum();
+                }
                 // Similarity adjustment and sigmoid.
                 for (c, cand) in item.candidates.iter().enumerate() {
                     let mut adjusted = raw[c];
@@ -217,41 +226,35 @@ impl FusionMethod for Accu {
             .iter()
             .map(|i| vec![0.0; i.candidates.len()])
             .collect();
+        let mut votes = vec![0.0; max_candidates(problem)];
+        let mut adjusted = vec![0.0; max_candidates(problem)];
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(&opts) {
             rounds += 1;
             for (i, item) in problem.items.iter().enumerate() {
-                let votes: Vec<f64> = item
-                    .candidates
-                    .iter()
-                    .enumerate()
-                    .map(|(c, cand)| {
-                        cand.providers
-                            .iter()
-                            .map(|&s| self.provider_score(trust.of(s, item.attr), item, c))
-                            .sum()
-                    })
-                    .collect();
-                let adjusted: Vec<f64> = item
-                    .candidates
-                    .iter()
-                    .enumerate()
-                    .map(|(c, cand)| {
-                        let mut v = votes[c];
-                        if self.uses_similarity() {
-                            for &(j, sim) in &cand.similar {
-                                v += self.rho * sim * votes[j];
-                            }
+                let num_candidates = item.candidates.len();
+                for (c, cand) in item.candidates.iter().enumerate() {
+                    votes[c] = cand
+                        .providers
+                        .iter()
+                        .map(|&s| self.provider_score(trust.of(s, item.attr), item, c))
+                        .sum();
+                }
+                for (c, cand) in item.candidates.iter().enumerate() {
+                    let mut v = votes[c];
+                    if self.uses_similarity() {
+                        for &(j, sim) in &cand.similar {
+                            v += self.rho * sim * votes[j];
                         }
-                        if self.uses_formatting() {
-                            for &j in &cand.coarse_supporters {
-                                v += self.format_weight * votes[j];
-                            }
+                    }
+                    if self.uses_formatting() {
+                        for &j in &cand.coarse_supporters {
+                            v += self.format_weight * votes[j];
                         }
-                        v
-                    })
-                    .collect();
-                softmax_into(&adjusted, &mut probabilities[i]);
+                    }
+                    adjusted[c] = v;
+                }
+                softmax_into(&adjusted[..num_candidates], &mut probabilities[i]);
             }
             let mut new_trust = trust.clone();
             update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
@@ -294,8 +297,14 @@ pub(crate) fn update_trust_from_scores(
     let per_attr = options.per_attribute_trust || trust.per_attr.is_some();
     let mut overall_sum = vec![0.0; problem.num_sources()];
     let mut overall_count = vec![0usize; problem.num_sources()];
-    let mut attr_sum = vec![vec![0.0; problem.num_attrs]; problem.num_sources()];
-    let mut attr_count = vec![vec![0usize; problem.num_attrs]; problem.num_sources()];
+    // The S×A accumulators are only needed (and only allocated) for the
+    // per-attribute variants.
+    let mut attr_sum = Vec::new();
+    let mut attr_count = Vec::new();
+    if per_attr {
+        attr_sum = vec![vec![0.0; problem.num_attrs]; problem.num_sources()];
+        attr_count = vec![vec![0usize; problem.num_attrs]; problem.num_sources()];
+    }
     for (s, claims) in problem.claims.iter().enumerate() {
         for &(i, c) in claims {
             let score = scores[i][c];

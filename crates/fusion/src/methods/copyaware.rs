@@ -14,12 +14,30 @@
 //! the paper highlights: on numeric data the detector does not account for
 //! value similarity, so near-the-truth values shared by accurate sources can
 //! be mistaken for copied false values.
+//!
+//! # Hot-path layout
+//!
+//! Copy detection dominates the method's runtime, so the implementation is
+//! built around two dense structures instead of per-round tree maps:
+//!
+//! * [`CopyMatrix`] — a flat triangular array answering pair-probability
+//!   lookups in O(1) (the inner vote loop performs one lookup per
+//!   (provider, earlier-provider) combination);
+//! * [`CoClaims`] — a CSR-style index of the items each source pair
+//!   co-claims, built **once** per run. Which items two sources share never
+//!   changes between rounds; only the current selection decides whether a
+//!   shared value counts as false. Each round therefore walks the flat
+//!   co-claim entries and adds one of two per-pair-constant log-likelihood
+//!   increments, instead of rebuilding an S×I claim table and re-deriving
+//!   the increments (two `ln` calls) per shared item.
 
-use crate::methods::bayesian::{clamp_trust, softmax_into, update_trust_from_scores, Accu};
+use crate::copymatrix::{triangular_slot, CopyMatrix};
+use crate::methods::bayesian::{
+    clamp_trust, max_candidates, softmax_into, update_trust_from_scores, Accu,
+};
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{argmax_selection, FusionOptions, FusionResult};
-use std::collections::BTreeMap;
+use crate::types::{argmax_selection_into, FusionOptions, FusionResult};
 use std::time::Instant;
 
 /// ACCUCOPY.
@@ -56,6 +74,15 @@ impl FusionMethod for AccuCopy {
         let start = Instant::now();
         let mut opts = options.clone();
         opts.per_attribute_trust = opts.per_attribute_trust || self.base.per_attribute;
+        // The oracle matrix is borrowed for the whole run; the detection path
+        // re-scores one reusable matrix against the round's selection.
+        let known = opts.known_copy_probabilities.take();
+        let co_claims = known
+            .is_none()
+            .then(|| CoClaims::build(problem, self.min_shared_items));
+        let mut detected = CopyMatrix::new(problem.num_sources());
+        let mut error_rates = vec![0.0; problem.num_sources()];
+
         let mut trust = initial_trust(problem, &opts, self.base.initial_accuracy);
         let mut probabilities: Vec<Vec<f64>> = problem
             .items
@@ -65,67 +92,73 @@ impl FusionMethod for AccuCopy {
         // Start from the dominant-value selection for the first copy-detection
         // pass.
         let mut selection = vec![0usize; problem.num_items()];
+        // Reusable per-item scratch (votes, similarity-adjusted votes) and
+        // per-candidate provider ordering — no allocations inside the rounds.
+        let mut votes = vec![0.0; max_candidates(problem)];
+        let mut adjusted = vec![0.0; max_candidates(problem)];
+        let mut ordered_providers: Vec<usize> = Vec::new();
+
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(&opts) {
             rounds += 1;
-            let copy_probs = match &opts.known_copy_probabilities {
-                Some(known) => known.clone(),
-                None => detect_copying(
-                    problem,
-                    &selection,
-                    self.copy_rate,
-                    self.prior,
-                    self.min_shared_items,
-                ),
+            let copy_probs: &CopyMatrix = match (&known, &co_claims) {
+                (Some(k), _) => k,
+                (None, Some(co)) => {
+                    co.rescore(
+                        problem,
+                        &selection,
+                        self.copy_rate,
+                        self.prior,
+                        &mut error_rates,
+                        &mut detected,
+                    );
+                    &detected
+                }
+                (None, None) => unreachable!("co-claims are built whenever no oracle is given"),
             };
             for (i, item) in problem.items.iter().enumerate() {
+                let num_candidates = item.candidates.len();
                 // Independence-discounted vote: order providers by accuracy
                 // and discount each by the probability that it copied from an
                 // earlier provider of the same value.
-                let votes: Vec<f64> = item
-                    .candidates
-                    .iter()
-                    .enumerate()
-                    .map(|(c, cand)| {
-                        let mut providers: Vec<usize> = cand.providers.clone();
-                        providers.sort_by(|&a, &b| {
-                            trust
-                                .of(b, item.attr)
-                                .partial_cmp(&trust.of(a, item.attr))
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then(a.cmp(&b))
-                        });
-                        let mut vote = 0.0;
-                        for (k, &s) in providers.iter().enumerate() {
-                            let mut independent = 1.0;
-                            for &earlier in &providers[..k] {
-                                let p = pair_probability(&copy_probs, s, earlier);
-                                independent *= 1.0 - self.copy_rate * p;
-                            }
-                            vote += independent
-                                * self.base.provider_score(trust.of(s, item.attr), item, c);
+                for (c, cand) in item.candidates.iter().enumerate() {
+                    ordered_providers.clear();
+                    ordered_providers.extend_from_slice(&cand.providers);
+                    // The index tiebreak makes the order a strict total order
+                    // over distinct provider indices, so the unstable sort is
+                    // deterministic.
+                    ordered_providers.sort_unstable_by(|&a, &b| {
+                        trust
+                            .of(b, item.attr)
+                            .partial_cmp(&trust.of(a, item.attr))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    });
+                    let mut vote = 0.0;
+                    for (k, &s) in ordered_providers.iter().enumerate() {
+                        let mut independent = 1.0;
+                        for &earlier in &ordered_providers[..k] {
+                            let p = copy_probs.get(s, earlier);
+                            independent *= 1.0 - self.copy_rate * p;
                         }
-                        vote
-                    })
-                    .collect();
-                let adjusted: Vec<f64> = item
-                    .candidates
-                    .iter()
-                    .enumerate()
-                    .map(|(c, cand)| {
-                        let mut v = votes[c];
-                        for &(j, sim) in &cand.similar {
-                            v += self.base.rho * sim * votes[j];
-                        }
-                        for &j in &cand.coarse_supporters {
-                            v += self.base.format_weight * votes[j];
-                        }
-                        v
-                    })
-                    .collect();
-                softmax_into(&adjusted, &mut probabilities[i]);
+                        vote += independent
+                            * self.base.provider_score(trust.of(s, item.attr), item, c);
+                    }
+                    votes[c] = vote;
+                }
+                for (c, cand) in item.candidates.iter().enumerate() {
+                    let mut v = votes[c];
+                    for &(j, sim) in &cand.similar {
+                        v += self.base.rho * sim * votes[j];
+                    }
+                    for &j in &cand.coarse_supporters {
+                        v += self.base.format_weight * votes[j];
+                    }
+                    adjusted[c] = v;
+                }
+                softmax_into(&adjusted[..num_candidates], &mut probabilities[i]);
             }
-            selection = argmax_selection(&probabilities);
+            argmax_selection_into(&probabilities, &mut selection);
             let mut new_trust = trust.clone();
             update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
             clamp_trust(&mut new_trust, 0.01, 0.99);
@@ -139,9 +172,183 @@ impl FusionMethod for AccuCopy {
     }
 }
 
-fn pair_probability(probs: &BTreeMap<(usize, usize), f64>, a: usize, b: usize) -> f64 {
-    let key = if a <= b { (a, b) } else { (b, a) };
-    probs.get(&key).copied().unwrap_or(0.0)
+/// CSR-style index of the items each source pair co-claims.
+///
+/// For every unordered source pair that shares at least `min_shared_items`
+/// items, the entries slice `entries[offsets[p]..offsets[p + 1]]` lists the
+/// shared items in increasing item order as `(item, candidate of the
+/// lower-indexed source, candidate of the higher-indexed source)`. The
+/// structure depends only on the prepared problem, never on the current
+/// selection, so a fusion run builds it once and re-scores it every round.
+#[derive(Debug, Clone)]
+pub struct CoClaims {
+    /// Scored pairs `(a, b)` with `a < b`, in lexicographic order.
+    pairs: Vec<(u32, u32)>,
+    /// Per-pair extents into `entries` (`pairs.len() + 1` offsets).
+    offsets: Vec<u32>,
+    /// Flat co-claim list: `(item index, candidate of a, candidate of b)`.
+    entries: Vec<(u32, u32, u32)>,
+}
+
+impl CoClaims {
+    /// Index every source pair of `problem` sharing at least
+    /// `min_shared_items` items.
+    pub fn build(problem: &FusionProblem, min_shared_items: usize) -> Self {
+        let num_sources = problem.num_sources();
+        let num_slots = num_sources * num_sources.saturating_sub(1) / 2;
+        // Callers below guarantee a < b.
+        let slot = |a: usize, b: usize| triangular_slot(num_sources, a, b);
+
+        // Pass 1: co-claim count per pair. Iterating (provider, candidate)
+        // pairs item by item costs Σ providers(item)², which only touches
+        // pairs that actually co-claim — unlike the S²·I dense-table scan.
+        let mut counts = vec![0u32; num_slots];
+        let mut item_claims: Vec<(usize, usize)> = Vec::new();
+        for item in &problem.items {
+            item_claims.clear();
+            for (c, cand) in item.candidates.iter().enumerate() {
+                item_claims.extend(cand.providers.iter().map(|&s| (s, c)));
+            }
+            for (x, &(sa, _)) in item_claims.iter().enumerate() {
+                for &(sb, _) in &item_claims[x + 1..] {
+                    let (lo, hi) = if sa < sb { (sa, sb) } else { (sb, sa) };
+                    counts[slot(lo, hi)] += 1;
+                }
+            }
+        }
+
+        // Pass 2: keep pairs meeting the floor, lay out their extents.
+        let mut pairs = Vec::new();
+        let mut pair_of_slot = vec![u32::MAX; num_slots];
+        let mut offsets = vec![0u32];
+        let mut total = 0u32;
+        for a in 0..num_sources {
+            for b in (a + 1)..num_sources {
+                let s = slot(a, b);
+                if (counts[s] as usize) < min_shared_items {
+                    continue;
+                }
+                pair_of_slot[s] = pairs.len() as u32;
+                pairs.push((a as u32, b as u32));
+                total += counts[s];
+                offsets.push(total);
+            }
+        }
+
+        // Pass 3: scatter the entries. Items are visited in increasing item
+        // order, so each pair's entry run is item-ordered — the same order
+        // the scoring loop (and its floating-point accumulation) expects.
+        let mut cursors: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
+        let mut entries = vec![(0u32, 0u32, 0u32); total as usize];
+        for (i, item) in problem.items.iter().enumerate() {
+            item_claims.clear();
+            for (c, cand) in item.candidates.iter().enumerate() {
+                item_claims.extend(cand.providers.iter().map(|&s| (s, c)));
+            }
+            for (x, &(sa, ca)) in item_claims.iter().enumerate() {
+                for &(sb, cb) in &item_claims[x + 1..] {
+                    let ((lo, clo), (hi, chi)) = if sa < sb {
+                        ((sa, ca), (sb, cb))
+                    } else {
+                        ((sb, cb), (sa, ca))
+                    };
+                    let pair = pair_of_slot[slot(lo, hi)];
+                    if pair == u32::MAX {
+                        continue;
+                    }
+                    let cursor = &mut cursors[pair as usize];
+                    entries[*cursor as usize] = (i as u32, clo as u32, chi as u32);
+                    *cursor += 1;
+                }
+            }
+        }
+
+        Self {
+            pairs,
+            offsets,
+            entries,
+        }
+    }
+
+    /// Number of scored pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total number of co-claim entries across all scored pairs.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Score every indexed pair against `selection`, writing posterior copy
+    /// probabilities into `out`. The matrix is cleared first, so pairs below
+    /// the sharing floor read as `0.0` even if `out` held older scores.
+    ///
+    /// `error_rates` is caller-provided scratch of length `num_sources`,
+    /// reused across rounds.
+    pub fn rescore(
+        &self,
+        problem: &FusionProblem,
+        selection: &[usize],
+        copy_rate: f64,
+        prior: f64,
+        error_rates: &mut [f64],
+        out: &mut CopyMatrix,
+    ) {
+        out.clear();
+        // Error rate of each source w.r.t. the current selection.
+        for (rate, claims) in error_rates.iter_mut().zip(&problem.claims) {
+            if claims.is_empty() {
+                *rate = 0.2;
+                continue;
+            }
+            let wrong = claims
+                .iter()
+                .filter(|&&(i, c)| selection.get(i).copied().unwrap_or(0) != c)
+                .count();
+            *rate = (wrong as f64 / claims.len() as f64).clamp(0.01, 0.99);
+        }
+
+        let c = copy_rate.clamp(1e-6, 1.0 - 1e-6);
+        let prior = prior.clamp(1e-6, 1.0 - 1e-6);
+        let prior_logit = (prior / (1.0 - prior)).ln();
+        let n = 10.0;
+        for (p, &(a, b)) in self.pairs.iter().enumerate() {
+            let ea = error_rates[a as usize];
+            let eb = error_rates[b as usize];
+            // The three case probabilities depend only on the pair's error
+            // rates, so the two possible log-likelihood-ratio increments are
+            // computed once per pair instead of twice-ln per shared item.
+            let p_same_true = (1.0 - ea) * (1.0 - eb);
+            let p_same_false = ea * eb / n;
+            let p_diff = (1.0 - p_same_true - p_same_false).max(1e-9);
+            let llr_same_false = (c * ea + (1.0 - c) * p_same_false).max(1e-12).ln()
+                - p_same_false.max(1e-12).ln();
+            let llr_diff = ((1.0 - c) * p_diff).max(1e-12).ln() - p_diff.max(1e-12).ln();
+
+            let mut llr = 0.0;
+            let span = self.offsets[p] as usize..self.offsets[p + 1] as usize;
+            for &(item, ca, cb) in &self.entries[span] {
+                if ca == cb {
+                    // Sharing the selected (presumed true) value is treated as
+                    // neutral: accurate independent sources agree on most
+                    // items, so counting agreement as evidence would flag
+                    // every pair of good sources. Sharing a *false* value is
+                    // the strong signal (Dong et al.).
+                    let selected = selection.get(item as usize).copied().unwrap_or(0) as u32;
+                    if ca == selected {
+                        continue;
+                    }
+                    llr += llr_same_false;
+                } else {
+                    // Disagreeing is evidence of independence.
+                    llr += llr_diff;
+                }
+            }
+            let logit = llr + prior_logit;
+            out.set(a as usize, b as usize, 1.0 / (1.0 + (-logit).exp()));
+        }
+    }
 }
 
 /// Detect pairwise copy probabilities from the current selection.
@@ -151,79 +358,29 @@ fn pair_probability(probs: &BTreeMap<(usize, usize), f64>, a: usize, b: usize) -
 /// fusion loop has at hand): sharing a non-selected value is strong evidence
 /// of copying, sharing the selected value is weak evidence, disagreeing is
 /// evidence of independence.
+///
+/// One-shot convenience over [`CoClaims`]: callers that score several
+/// selections against the same problem (as [`AccuCopy::run`] does every
+/// round) should build the index once and [`CoClaims::rescore`] it instead.
 pub fn detect_copying(
     problem: &FusionProblem,
     selection: &[usize],
     copy_rate: f64,
     prior: f64,
     min_shared_items: usize,
-) -> BTreeMap<(usize, usize), f64> {
-    let num_sources = problem.num_sources();
-    // Dense claim table: claims[s][item] = Some(candidate).
-    let mut table: Vec<Vec<Option<u32>>> = vec![vec![None; problem.num_items()]; num_sources];
-    for (s, claims) in problem.claims.iter().enumerate() {
-        for &(i, c) in claims {
-            table[s][i] = Some(c as u32);
-        }
-    }
-    // Error rate of each source w.r.t. the current selection.
-    let error_rate: Vec<f64> = problem
-        .claims
-        .iter()
-        .map(|claims| {
-            if claims.is_empty() {
-                return 0.2;
-            }
-            let wrong = claims
-                .iter()
-                .filter(|&&(i, c)| selection.get(i).copied().unwrap_or(0) != c)
-                .count();
-            (wrong as f64 / claims.len() as f64).clamp(0.01, 0.99)
-        })
-        .collect();
-
-    let c = copy_rate.clamp(1e-6, 1.0 - 1e-6);
-    let prior = prior.clamp(1e-6, 1.0 - 1e-6);
-    let n = 10.0;
-    let mut result = BTreeMap::new();
-    for a in 0..num_sources {
-        for b in (a + 1)..num_sources {
-            let mut shared = 0usize;
-            let mut llr = 0.0;
-            for (i, (ta, tb)) in table[a].iter().zip(&table[b]).enumerate() {
-                let (Some(ca), Some(cb)) = (*ta, *tb) else {
-                    continue;
-                };
-                shared += 1;
-                let ea = error_rate[a];
-                let eb = error_rate[b];
-                let p_same_true = (1.0 - ea) * (1.0 - eb);
-                let p_same_false = ea * eb / n;
-                let p_diff = (1.0 - p_same_true - p_same_false).max(1e-9);
-                let selected = selection.get(i).copied().unwrap_or(0) as u32;
-                // Sharing the selected (presumed true) value is treated as
-                // neutral: accurate independent sources agree on most items,
-                // so counting agreement as evidence would flag every pair of
-                // good sources. Sharing a *false* value is the strong signal
-                // (Dong et al.); disagreeing is evidence of independence.
-                let (p_indep, p_copy) = if ca == cb {
-                    if ca == selected {
-                        continue;
-                    }
-                    (p_same_false, c * ea + (1.0 - c) * p_same_false)
-                } else {
-                    (p_diff, (1.0 - c) * p_diff)
-                };
-                llr += p_copy.max(1e-12).ln() - p_indep.max(1e-12).ln();
-            }
-            if shared < min_shared_items {
-                continue;
-            }
-            let logit = llr + (prior / (1.0 - prior)).ln();
-            result.insert((a, b), 1.0 / (1.0 + (-logit).exp()));
-        }
-    }
-    result
+) -> CopyMatrix {
+    let co_claims = CoClaims::build(problem, min_shared_items);
+    let mut error_rates = vec![0.0; problem.num_sources()];
+    let mut out = CopyMatrix::new(problem.num_sources());
+    co_claims.rescore(
+        problem,
+        selection,
+        copy_rate,
+        prior,
+        &mut error_rates,
+        &mut out,
+    );
+    out
 }
 
 #[cfg(test)]
@@ -294,9 +451,9 @@ mod tests {
         let selection = vec![0usize; problem.num_items()];
         let probs = detect_copying(&problem, &selection, 0.8, 0.1, 10);
         let idx = |i: u32| problem.source_index(SourceId(i)).unwrap();
-        let clique_p = pair_probability(&probs, idx(4), idx(5));
+        let clique_p = probs.get(idx(4), idx(5));
         // s2 and s3 never share a value the dominant selection calls false.
-        let honest_p = pair_probability(&probs, idx(2), idx(3));
+        let honest_p = probs.get(idx(2), idx(3));
         assert!(
             clique_p > honest_p,
             "clique pair {clique_p} should out-score honest pair {honest_p}"
@@ -309,17 +466,114 @@ mod tests {
     fn known_copying_is_used_when_supplied() {
         let (snap, gold) = copied_majority_snapshot();
         let problem = FusionProblem::from_snapshot(&snap);
-        let mut known = BTreeMap::new();
+        let mut known = CopyMatrix::new(problem.num_sources());
         for i in 4..7usize {
             for j in (i + 1)..7usize {
                 let a = problem.source_index(SourceId(i as u32)).unwrap();
                 let b = problem.source_index(SourceId(j as u32)).unwrap();
-                known.insert((a.min(b), a.max(b)), 1.0);
+                known.set(a, b, 1.0);
             }
         }
         let opts = FusionOptions::standard().with_known_copying(known);
         let result = AccuCopy::default().run(&problem, &opts);
         let p = precision(&result, &snap, &gold);
         assert!(p > 0.95, "AccuCopy with oracle copying scored {p}");
+    }
+
+    /// Bit-exact equivalence of the dense hot path against the frozen
+    /// map-based implementation in [`crate::methods::reference`]: identical
+    /// `selection`, `trust.overall`, `trust.per_attr`, and `rounds`.
+    fn assert_bit_identical(problem: &FusionProblem, opts: &FusionOptions) {
+        let method = AccuCopy::default();
+        let new = method.run(problem, opts);
+        let old = crate::methods::reference::reference_run(&method, problem, opts);
+        assert_eq!(new.selection, old.selection, "selections diverged");
+        assert_eq!(new.rounds, old.rounds, "round counts diverged");
+        assert_eq!(
+            new.trust.overall, old.trust.overall,
+            "overall trust diverged"
+        );
+        assert_eq!(
+            new.trust.per_attr, old.trust.per_attr,
+            "per-attribute trust diverged"
+        );
+        assert_eq!(new.selected, old.selected, "selected values diverged");
+    }
+
+    #[test]
+    fn dense_path_is_bit_identical_on_the_fixture() {
+        let (snap, _) = copied_majority_snapshot();
+        let problem = FusionProblem::from_snapshot(&snap);
+        assert_bit_identical(&problem, &FusionOptions::standard());
+        assert_bit_identical(&problem, &FusionOptions::standard().with_per_attribute_trust());
+    }
+
+    #[test]
+    fn dense_path_is_bit_identical_on_seeded_stock_and_flight() {
+        for domain in [
+            datagen::generate(&datagen::stock_config(2012).scaled(0.02, 0.1)),
+            datagen::generate(&datagen::flight_config(2012).scaled(0.1, 0.06)),
+        ] {
+            let problem = FusionProblem::from_snapshot(domain.reference_snapshot());
+            // Detected-copying path.
+            assert_bit_identical(&problem, &FusionOptions::standard());
+            // Oracle path: the planted copy groups as a known matrix.
+            let mut known = CopyMatrix::new(problem.num_sources());
+            for group in &domain.copy_groups {
+                for x in 0..group.len() {
+                    for y in (x + 1)..group.len() {
+                        let (Some(a), Some(b)) = (
+                            problem.source_index(group[x]),
+                            problem.source_index(group[y]),
+                        ) else {
+                            continue;
+                        };
+                        known.set(a, b, 1.0);
+                    }
+                }
+            }
+            let opts = FusionOptions::standard().with_known_copying(known);
+            assert_bit_identical(&problem, &opts);
+        }
+    }
+
+    #[test]
+    fn dense_detection_matches_reference_detection_exactly() {
+        let domain = datagen::generate(&datagen::stock_config(2012).scaled(0.02, 0.1));
+        let problem = FusionProblem::from_snapshot(domain.reference_snapshot());
+        let selection = vec![0usize; problem.num_items()];
+        let dense = detect_copying(&problem, &selection, 0.8, 0.1, 10);
+        let reference = crate::methods::reference::reference_detect_copying(
+            &problem, &selection, 0.8, 0.1, 10,
+        );
+        assert!(!reference.is_empty(), "reference detection found no pairs");
+        for a in 0..problem.num_sources() {
+            for b in (a + 1)..problem.num_sources() {
+                let old = reference.get(&(a, b)).copied().unwrap_or(0.0);
+                assert_eq!(dense.get(a, b), old, "pair ({a},{b}) diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn co_claims_index_matches_the_problem() {
+        let (snap, _) = copied_majority_snapshot();
+        let problem = FusionProblem::from_snapshot(&snap);
+        // With no sharing floor, every pair of the seven sources co-claims
+        // something; the per-pair entry counts must match a naive recount.
+        let co = CoClaims::build(&problem, 0);
+        assert_eq!(co.num_pairs(), 7 * 6 / 2);
+        let naive: usize = problem
+            .items
+            .iter()
+            .map(|i| i.num_providers() * (i.num_providers() - 1) / 2)
+            .sum();
+        assert_eq!(co.num_entries(), naive);
+        // s2/s3 cover 40 of the 60 items; a floor of 41 drops exactly the
+        // pairs involving one of them against each other but keeps full-cover
+        // pairs.
+        let co_floored = CoClaims::build(&problem, 41);
+        assert!(co_floored.num_pairs() < co.num_pairs());
+        assert!(co_floored.num_pairs() > 0);
     }
 }

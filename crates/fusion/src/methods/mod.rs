@@ -8,11 +8,13 @@
 mod bayesian;
 mod copyaware;
 mod ir;
+#[cfg(test)]
+mod reference;
 mod vote;
 mod weblink;
 
 pub use bayesian::{Accu, AccuVariant, TruthFinder};
-pub use copyaware::AccuCopy;
+pub use copyaware::{detect_copying, AccuCopy, CoClaims};
 pub use ir::{Cosine, ThreeEstimates, TwoEstimates};
 pub use vote::Vote;
 pub use weblink::{AvgLog, Hub, Invest, PooledInvest};

@@ -1,0 +1,191 @@
+//! Test-only oracle: the pre-dense-layout ACCUCOPY implementation.
+//!
+//! The dense hot path (triangular [`CopyMatrix`](crate::copymatrix::CopyMatrix),
+//! CSR co-claims, scratch buffers) is a *representation* change — the
+//! equivalence tests in [`copyaware`](super::copyaware) assert that every
+//! selection and trust vector is bit-identical to what this original
+//! map-based implementation computes. Keep this file in sync with nothing:
+//! it is frozen on purpose.
+
+use crate::methods::bayesian::{clamp_trust, softmax_into, update_trust_from_scores};
+use crate::methods::copyaware::AccuCopy;
+use crate::methods::{effective_rounds, initial_trust, FusionMethod};
+use crate::problem::FusionProblem;
+use crate::types::{argmax_selection, FusionOptions, FusionResult};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn pair_probability(probs: &BTreeMap<(usize, usize), f64>, a: usize, b: usize) -> f64 {
+    let key = if a <= b { (a, b) } else { (b, a) };
+    probs.get(&key).copied().unwrap_or(0.0)
+}
+
+/// The original `detect_copying`: rebuilds the dense S×I claim table and
+/// re-derives both log-likelihood terms per shared item, every call.
+pub(crate) fn reference_detect_copying(
+    problem: &FusionProblem,
+    selection: &[usize],
+    copy_rate: f64,
+    prior: f64,
+    min_shared_items: usize,
+) -> BTreeMap<(usize, usize), f64> {
+    let num_sources = problem.num_sources();
+    let mut table: Vec<Vec<Option<u32>>> = vec![vec![None; problem.num_items()]; num_sources];
+    for (s, claims) in problem.claims.iter().enumerate() {
+        for &(i, c) in claims {
+            table[s][i] = Some(c as u32);
+        }
+    }
+    let error_rate: Vec<f64> = problem
+        .claims
+        .iter()
+        .map(|claims| {
+            if claims.is_empty() {
+                return 0.2;
+            }
+            let wrong = claims
+                .iter()
+                .filter(|&&(i, c)| selection.get(i).copied().unwrap_or(0) != c)
+                .count();
+            (wrong as f64 / claims.len() as f64).clamp(0.01, 0.99)
+        })
+        .collect();
+
+    let c = copy_rate.clamp(1e-6, 1.0 - 1e-6);
+    let prior = prior.clamp(1e-6, 1.0 - 1e-6);
+    let n = 10.0;
+    let mut result = BTreeMap::new();
+    for a in 0..num_sources {
+        for b in (a + 1)..num_sources {
+            let mut shared = 0usize;
+            let mut llr = 0.0;
+            for (i, (ta, tb)) in table[a].iter().zip(&table[b]).enumerate() {
+                let (Some(ca), Some(cb)) = (*ta, *tb) else {
+                    continue;
+                };
+                shared += 1;
+                let ea = error_rate[a];
+                let eb = error_rate[b];
+                let p_same_true = (1.0 - ea) * (1.0 - eb);
+                let p_same_false = ea * eb / n;
+                let p_diff = (1.0 - p_same_true - p_same_false).max(1e-9);
+                let selected = selection.get(i).copied().unwrap_or(0) as u32;
+                let (p_indep, p_copy) = if ca == cb {
+                    if ca == selected {
+                        continue;
+                    }
+                    (p_same_false, c * ea + (1.0 - c) * p_same_false)
+                } else {
+                    (p_diff, (1.0 - c) * p_diff)
+                };
+                llr += p_copy.max(1e-12).ln() - p_indep.max(1e-12).ln();
+            }
+            if shared < min_shared_items {
+                continue;
+            }
+            let logit = llr + (prior / (1.0 - prior)).ln();
+            result.insert((a, b), 1.0 / (1.0 + (-logit).exp()));
+        }
+    }
+    result
+}
+
+/// The original `AccuCopy::run` loop: per-item `Vec` allocations, a stable
+/// provider sort on a cloned provider list, and map-based pair lookups.
+pub(crate) fn reference_run(
+    method: &AccuCopy,
+    problem: &FusionProblem,
+    options: &FusionOptions,
+) -> FusionResult {
+    let start = Instant::now();
+    let mut opts = options.clone();
+    opts.per_attribute_trust = opts.per_attribute_trust || method.base.per_attribute;
+    // The old oracle path cloned a caller-supplied map every round; the
+    // options now carry a matrix, so materialize the equivalent map once.
+    let known: Option<BTreeMap<(usize, usize), f64>> = opts
+        .known_copy_probabilities
+        .as_ref()
+        .map(|m| m.pairs().collect());
+    let mut trust = initial_trust(problem, &opts, method.base.initial_accuracy);
+    let mut probabilities: Vec<Vec<f64>> = problem
+        .items
+        .iter()
+        .map(|i| vec![0.0; i.candidates.len()])
+        .collect();
+    let mut selection = vec![0usize; problem.num_items()];
+    let mut rounds = 0usize;
+    for _ in 0..effective_rounds(&opts) {
+        rounds += 1;
+        let copy_probs = match &known {
+            Some(known) => known.clone(),
+            None => reference_detect_copying(
+                problem,
+                &selection,
+                method.copy_rate,
+                method.prior,
+                method.min_shared_items,
+            ),
+        };
+        for (i, item) in problem.items.iter().enumerate() {
+            let votes: Vec<f64> = item
+                .candidates
+                .iter()
+                .enumerate()
+                .map(|(c, cand)| {
+                    let mut providers: Vec<usize> = cand.providers.clone();
+                    providers.sort_by(|&a, &b| {
+                        trust
+                            .of(b, item.attr)
+                            .partial_cmp(&trust.of(a, item.attr))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    });
+                    let mut vote = 0.0;
+                    for (k, &s) in providers.iter().enumerate() {
+                        let mut independent = 1.0;
+                        for &earlier in &providers[..k] {
+                            let p = pair_probability(&copy_probs, s, earlier);
+                            independent *= 1.0 - method.copy_rate * p;
+                        }
+                        vote += independent
+                            * method.base.provider_score(trust.of(s, item.attr), item, c);
+                    }
+                    vote
+                })
+                .collect();
+            let adjusted: Vec<f64> = item
+                .candidates
+                .iter()
+                .enumerate()
+                .map(|(c, cand)| {
+                    let mut v = votes[c];
+                    for &(j, sim) in &cand.similar {
+                        v += method.base.rho * sim * votes[j];
+                    }
+                    for &j in &cand.coarse_supporters {
+                        v += method.base.format_weight * votes[j];
+                    }
+                    v
+                })
+                .collect();
+            softmax_into(&adjusted, &mut probabilities[i]);
+        }
+        selection = argmax_selection(&probabilities);
+        let mut new_trust = trust.clone();
+        update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
+        clamp_trust(&mut new_trust, 0.01, 0.99);
+        let change = new_trust.max_change(&trust);
+        trust = new_trust;
+        if change < opts.epsilon {
+            break;
+        }
+    }
+    FusionResult::from_selection(
+        &method.name(),
+        problem,
+        selection,
+        trust,
+        rounds,
+        start.elapsed(),
+    )
+}

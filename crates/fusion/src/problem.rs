@@ -6,7 +6,7 @@
 //! methods (bucketing and normalization are data preparation, not fusion).
 
 use datamodel::{ItemId, Snapshot, SourceId, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One candidate (tolerance-bucketed) value of a data item.
 #[derive(Debug, Clone)]
@@ -59,6 +59,10 @@ pub struct FusionProblem {
     /// For every source (dense index), the list of its claims as
     /// `(item index, candidate index)`.
     pub claims: Vec<Vec<(usize, usize)>>,
+    // O(1) reverse lookup of `sources`; built once at preparation time so
+    // per-pair conversions (copy reports, error analysis) don't pay a linear
+    // scan per source.
+    source_index: HashMap<SourceId, usize>,
 }
 
 /// Similarities below this floor are not stored (they contribute nothing
@@ -69,7 +73,7 @@ impl FusionProblem {
     /// Prepare `snapshot` for fusion.
     pub fn from_snapshot(snapshot: &Snapshot) -> Self {
         let sources: Vec<SourceId> = snapshot.active_sources().into_iter().collect();
-        let source_index: BTreeMap<SourceId, usize> = sources
+        let source_index: HashMap<SourceId, usize> = sources
             .iter()
             .enumerate()
             .map(|(i, s)| (*s, i))
@@ -139,6 +143,7 @@ impl FusionProblem {
             num_attrs,
             items,
             claims,
+            source_index,
         }
     }
 
@@ -157,9 +162,9 @@ impl FusionProblem {
         self.claims.iter().map(Vec::len).sum()
     }
 
-    /// Dense index of a source id, if it is part of the problem.
+    /// Dense index of a source id, if it is part of the problem (O(1)).
     pub fn source_index(&self, source: SourceId) -> Option<usize> {
-        self.sources.iter().position(|s| *s == source)
+        self.source_index.get(&source).copied()
     }
 
     /// Turn a per-item candidate selection into an item → value mapping.

@@ -1,5 +1,6 @@
 //! Options, trust estimates, and results shared by all fusion methods.
 
+use crate::copymatrix::CopyMatrix;
 use crate::problem::FusionProblem;
 use datamodel::{ItemId, Value};
 use std::collections::BTreeMap;
@@ -22,7 +23,7 @@ pub struct FusionOptions {
     /// Known copy probabilities per unordered dense source-index pair, fed to
     /// copy-aware methods instead of running detection (the paper's
     /// "ignore copiers of Table 5" oracle experiments).
-    pub known_copy_probabilities: Option<BTreeMap<(usize, usize), f64>>,
+    pub known_copy_probabilities: Option<CopyMatrix>,
 }
 
 impl FusionOptions {
@@ -50,7 +51,7 @@ impl FusionOptions {
     }
 
     /// Provide known copy probabilities (dense source-index pairs).
-    pub fn with_known_copying(mut self, probs: BTreeMap<(usize, usize), f64>) -> Self {
+    pub fn with_known_copying(mut self, probs: CopyMatrix) -> Self {
         self.known_copy_probabilities = Some(probs);
         self
     }
@@ -149,20 +150,26 @@ impl FusionResult {
 /// lower candidate index (the better-supported bucket), which keeps the
 /// output deterministic.
 pub fn argmax_selection(votes: &[Vec<f64>]) -> Vec<usize> {
-    votes
-        .iter()
-        .map(|item_votes| {
-            let mut best = 0usize;
-            let mut best_vote = f64::NEG_INFINITY;
-            for (i, &v) in item_votes.iter().enumerate() {
-                if v > best_vote + 1e-12 {
-                    best = i;
-                    best_vote = v;
-                }
+    let mut selection = Vec::new();
+    argmax_selection_into(votes, &mut selection);
+    selection
+}
+
+/// In-place variant of [`argmax_selection`] for iterative methods that
+/// re-select every round: reuses `selection`'s allocation.
+pub fn argmax_selection_into(votes: &[Vec<f64>], selection: &mut Vec<usize>) {
+    selection.clear();
+    selection.extend(votes.iter().map(|item_votes| {
+        let mut best = 0usize;
+        let mut best_vote = f64::NEG_INFINITY;
+        for (i, &v) in item_votes.iter().enumerate() {
+            if v > best_vote + 1e-12 {
+                best = i;
+                best_vote = v;
             }
-            best
-        })
-        .collect()
+        }
+        best
+    }));
 }
 
 /// Normalize a slice in place by its maximum (no-op when the maximum is not

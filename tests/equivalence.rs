@@ -1,0 +1,79 @@
+//! Golden-value regression suite for the dense hot-path overhaul.
+//!
+//! The triangular `CopyMatrix`, the CSR co-claim index, and the scratch-buffer
+//! fusion rounds are representation changes: every method must keep producing
+//! the numbers it produced with the map-based layout. The fusion crate asserts
+//! bit-identical selections/trust against a frozen reference implementation;
+//! this suite pins the user-visible end: Table-7 precision (with and without
+//! input trust) on seeded Stock and Flight domains, including the oracle
+//! known-copying path. The values are exact ratios of judged items, so they
+//! are stable across machines as long as fusion stays deterministic.
+
+use copydetect::known_copying;
+use datagen::{flight_config, generate, stock_config};
+use evaluation::{evaluate_method, EvaluationContext};
+use fusion::{method_by_name, MethodCategory};
+
+/// Evaluate one method and return `(precision without trust, precision with
+/// trust, rounds)`.
+fn run(context: &EvaluationContext<'_>, name: &str) -> (f64, f64, usize) {
+    let method = method_by_name(name).expect("registry method");
+    let row = evaluate_method(context, MethodCategory::Bayesian, method.as_ref());
+    (
+        row.precision_without_trust,
+        row.precision_with_trust,
+        row.rounds,
+    )
+}
+
+fn assert_golden(actual: (f64, f64, usize), golden: (f64, f64, usize), label: &str) {
+    assert!(
+        (actual.0 - golden.0).abs() < 1e-12
+            && (actual.1 - golden.1).abs() < 1e-12
+            && actual.2 == golden.2,
+        "{label}: got {actual:?}, golden {golden:?}"
+    );
+}
+
+#[test]
+fn stock_methods_match_golden_precisions() {
+    let domain = generate(&stock_config(2012).scaled(0.02, 0.1));
+    let day = domain.collection.reference_day();
+    let context = EvaluationContext::new(&day.snapshot, &day.gold);
+    assert_golden(
+        run(&context, "Vote"),
+        (0.8860759493670886, 0.8860759493670886, 0),
+        "stock Vote",
+    );
+    assert_golden(
+        run(&context, "AccuFormatAttr"),
+        (0.8765822784810127, 0.9462025316455697, 3),
+        "stock AccuFormatAttr",
+    );
+    assert_golden(
+        run(&context, "AccuCopy"),
+        (0.8765822784810127, 0.8734177215189873, 4),
+        "stock AccuCopy",
+    );
+}
+
+/// The flight context carries the oracle copy report (Table 5), so the
+/// with-trust AccuCopy column exercises the known-copying path end to end.
+#[test]
+fn flight_methods_match_golden_precisions_including_oracle() {
+    let domain = generate(&flight_config(2012).scaled(0.1, 0.06));
+    let day = domain.collection.reference_day();
+    let report = known_copying(day.snapshot.schema());
+    let context = EvaluationContext::new(&day.snapshot, &day.gold).with_known_copying(&report);
+    assert_golden(run(&context, "Vote"), (0.795, 0.795, 0), "flight Vote");
+    assert_golden(
+        run(&context, "AccuFormatAttr"),
+        (0.6633333333333333, 0.9833333333333333, 6),
+        "flight AccuFormatAttr",
+    );
+    assert_golden(
+        run(&context, "AccuCopy"),
+        (0.6416666666666667, 0.995, 8),
+        "flight AccuCopy",
+    );
+}
