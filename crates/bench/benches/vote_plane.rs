@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark of the flat vote plane: the
+//! `weighted_votes`-equivalent trust-weighted accumulation every web-link
+//! round performs, on the default-scale Stock problem, for both trust
+//! layouts — overall (one `Vec<f64>` gather) and per-attribute (`*ATTR`,
+//! flat SoA `source * num_attrs + attr` reads).
+//!
+//! This is the loop the CSR layout exists for: one contiguous
+//! gather-multiply-add per candidate, no per-item heap hops. The `argmax`
+//! bench covers the per-round selection walk over the same offsets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{generate, stock_config};
+use fusion::{FusionProblem, TrustEstimate, VotePlane};
+
+fn bench_vote_plane(c: &mut Criterion) {
+    let stock = generate(&stock_config(2012).scaled(0.25, 0.1));
+    let problem = FusionProblem::from_snapshot(stock.reference_snapshot());
+
+    // Non-uniform trust so the gather reads realistic values.
+    let mut overall = TrustEstimate::uniform(problem.num_sources(), problem.num_attrs, 0.8, false);
+    for (s, t) in overall.overall.iter_mut().enumerate() {
+        *t = 0.5 + 0.4 * ((s % 7) as f64 / 7.0);
+    }
+    let mut per_attr = TrustEstimate::uniform(problem.num_sources(), problem.num_attrs, 0.8, true);
+    if let Some(pa) = per_attr.per_attr.as_mut() {
+        for s in 0..problem.num_sources() {
+            for a in 0..problem.num_attrs {
+                pa.set(s, a, 0.5 + 0.4 * (((s + a) % 5) as f64 / 5.0));
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("vote_plane");
+    group.bench_function("weighted_votes_overall_trust", |b| {
+        let mut plane = VotePlane::for_problem(&problem);
+        b.iter(|| {
+            plane.accumulate_weighted_votes(&problem, &overall);
+            plane.values().iter().sum::<f64>()
+        })
+    });
+    group.bench_function("weighted_votes_per_attribute_trust", |b| {
+        let mut plane = VotePlane::for_problem(&problem);
+        b.iter(|| {
+            plane.accumulate_weighted_votes(&problem, &per_attr);
+            plane.values().iter().sum::<f64>()
+        })
+    });
+    group.bench_function("argmax_selection_into", |b| {
+        let mut plane = VotePlane::for_problem(&problem);
+        plane.accumulate_weighted_votes(&problem, &overall);
+        let mut selection = Vec::new();
+        b.iter(|| {
+            plane.argmax_into(&mut selection);
+            selection.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_vote_plane
+}
+criterion_main!(benches);

@@ -161,8 +161,31 @@ fn main() {
         .field("scale", Json::Number(args.scale))
         .field("days", Json::Number(args.days))
         .field("domains", Json::Array(vec![stock_json, flight_json]));
+
+    // Load the baseline BEFORE writing the fresh artifact: the checked-in
+    // baseline (`--compare BENCH_fig12.json`) and the default output path are
+    // typically the same file, and reading after the write would silently
+    // diff the fresh run against itself.
+    let baseline = args.compare.as_ref().map(|path| {
+        (
+            path.clone(),
+            std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| Json::parse(&text)),
+        )
+    });
+
     match std::fs::write(&out_path, doc.render()) {
         Ok(()) => println!("\nWrote {out_path}"),
         Err(e) => eprintln!("\nCould not write {out_path}: {e}"),
+    }
+
+    // Perf trajectory: diff this run against the checked-in baseline.
+    if let Some((baseline_path, result)) = baseline {
+        println!();
+        match result {
+            Ok(baseline) => bench::print_fig12_comparison(&baseline, &doc),
+            Err(e) => eprintln!("Could not load baseline {baseline_path}: {e}"),
+        }
     }
 }

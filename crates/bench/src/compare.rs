@@ -1,0 +1,248 @@
+//! Perf-trajectory comparison of Figure-12 artifacts.
+//!
+//! `exp_fig12_efficiency --compare BENCH_fig12.json` diffs a fresh run
+//! against the checked-in trajectory point and prints per-method speedups,
+//! so a PR can see perf drift without manual JSON reading. Two artifacts are
+//! only comparable when they come from the same machine and the same
+//! `--scale/--days/--seed`; the helper checks the scale parameters and warns
+//! loudly when they differ.
+
+use crate::json::Json;
+use crate::report::Table;
+
+/// One method's timing in both trajectory points.
+#[derive(Debug, Clone)]
+pub struct Fig12Delta {
+    /// Domain the method ran on (`"stock"` / `"flight"`).
+    pub domain: String,
+    /// Method name (paper spelling).
+    pub method: String,
+    /// Per-method wall clock in the baseline artifact, seconds.
+    pub baseline_s: f64,
+    /// Per-method wall clock in the fresh run, seconds.
+    pub fresh_s: f64,
+    /// Precision in the baseline artifact (must match the fresh run for the
+    /// comparison to be like-for-like).
+    pub baseline_precision: f64,
+    /// Precision in the fresh run.
+    pub fresh_precision: f64,
+}
+
+impl Fig12Delta {
+    /// How many times faster the fresh run is (`> 1` = improvement).
+    pub fn speedup(&self) -> f64 {
+        if self.fresh_s <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.baseline_s / self.fresh_s
+        }
+    }
+
+    /// Whether the two runs computed the same result (fusion is
+    /// deterministic, so any drift means the comparison is not
+    /// like-for-like).
+    pub fn same_result(&self) -> bool {
+        self.baseline_precision == self.fresh_precision
+    }
+}
+
+fn methods_of(domain: &Json) -> Vec<(&str, f64, f64)> {
+    domain
+        .get("methods")
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    Some((
+                        row.get("method")?.as_str()?,
+                        row.get("elapsed_s")?.as_f64()?,
+                        row.get("precision")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Match every (domain, method) timing of `fresh` against `baseline`.
+/// Methods present in only one artifact are skipped (the registry may grow
+/// between PRs); an empty result means the artifacts share nothing.
+pub fn fig12_deltas(baseline: &Json, fresh: &Json) -> Vec<Fig12Delta> {
+    let empty = Vec::new();
+    let baseline_domains = baseline
+        .get("domains")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let fresh_domains = fresh
+        .get("domains")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let mut deltas = Vec::new();
+    for fresh_domain in fresh_domains {
+        let Some(name) = fresh_domain.get("domain").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base_domain) = baseline_domains
+            .iter()
+            .find(|d| d.get("domain").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let base_methods = methods_of(base_domain);
+        for (method, fresh_s, fresh_precision) in methods_of(fresh_domain) {
+            let Some(&(_, baseline_s, baseline_precision)) =
+                base_methods.iter().find(|(m, _, _)| *m == method)
+            else {
+                continue;
+            };
+            deltas.push(Fig12Delta {
+                domain: name.to_string(),
+                method: method.to_string(),
+                baseline_s,
+                fresh_s,
+                baseline_precision,
+                fresh_precision,
+            });
+        }
+    }
+    deltas
+}
+
+/// True when the two artifacts were produced with the same scale parameters
+/// (seed, scale, days) — the precondition for timings to be comparable.
+pub fn same_scale(baseline: &Json, fresh: &Json) -> bool {
+    ["seed", "scale", "days"].iter().all(|key| {
+        baseline.get(key).and_then(Json::as_f64) == fresh.get(key).and_then(Json::as_f64)
+    })
+}
+
+/// Render the per-method speedup table plus per-domain totals.
+pub fn print_fig12_comparison(baseline: &Json, fresh: &Json) {
+    if !same_scale(baseline, fresh) {
+        println!(
+            "WARNING: baseline and fresh artifacts use different --seed/--scale/--days;\n\
+             timings are NOT comparable.\n"
+        );
+    }
+    let deltas = fig12_deltas(baseline, fresh);
+    if deltas.is_empty() {
+        println!("No overlapping (domain, method) rows between the two artifacts.");
+        return;
+    }
+    let mut table = Table::new(
+        "Figure-12 trajectory: fresh run vs baseline artifact",
+        &["domain", "method", "baseline (s)", "fresh (s)", "speedup", "note"],
+    );
+    let mut domains: Vec<&str> = deltas.iter().map(|d| d.domain.as_str()).collect();
+    domains.dedup();
+    for domain in domains {
+        let rows: Vec<&Fig12Delta> = deltas.iter().filter(|d| d.domain == domain).collect();
+        for d in &rows {
+            table.row(&[
+                d.domain.clone(),
+                d.method.clone(),
+                format!("{:.4}", d.baseline_s),
+                format!("{:.4}", d.fresh_s),
+                format!("{:.2}x", d.speedup()),
+                if d.same_result() {
+                    String::new()
+                } else {
+                    "PRECISION DRIFT".to_string()
+                },
+            ]);
+        }
+        let base_total: f64 = rows.iter().map(|d| d.baseline_s).sum();
+        let fresh_total: f64 = rows.iter().map(|d| d.fresh_s).sum();
+        table.row(&[
+            domain.to_string(),
+            "TOTAL".to_string(),
+            format!("{base_total:.4}"),
+            format!("{fresh_total:.4}"),
+            format!(
+                "{:.2}x",
+                if fresh_total > 0.0 {
+                    base_total / fresh_total
+                } else {
+                    f64::INFINITY
+                }
+            ),
+            String::new(),
+        ]);
+    }
+    table.print();
+    let regressions: Vec<&Fig12Delta> = deltas.iter().filter(|d| d.speedup() < 0.95).collect();
+    if regressions.is_empty() {
+        println!("No per-method regressions beyond the 5% noise floor.");
+    } else {
+        for d in regressions {
+            println!(
+                "REGRESSION: {}/{} slowed {:.4} s -> {:.4} s ({:.2}x)",
+                d.domain,
+                d.method,
+                d.baseline_s,
+                d.fresh_s,
+                d.speedup()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(scale: f64, elapsed: f64, precision: f64) -> Json {
+        Json::object()
+            .field("seed", Json::int(2012))
+            .field("scale", Json::Number(scale))
+            .field("days", Json::Number(0.25))
+            .field(
+                "domains",
+                Json::Array(vec![Json::object()
+                    .field("domain", Json::string("stock"))
+                    .field(
+                        "methods",
+                        Json::Array(vec![Json::object()
+                            .field("method", Json::string("Vote"))
+                            .field("elapsed_s", Json::Number(elapsed))
+                            .field("precision", Json::Number(precision))]),
+                    )]),
+            )
+    }
+
+    #[test]
+    fn deltas_pair_up_by_domain_and_method() {
+        let baseline = artifact(0.25, 0.010, 0.9);
+        let fresh = artifact(0.25, 0.005, 0.9);
+        let deltas = fig12_deltas(&baseline, &fresh);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].method, "Vote");
+        assert!((deltas[0].speedup() - 2.0).abs() < 1e-12);
+        assert!(deltas[0].same_result());
+        assert!(same_scale(&baseline, &fresh));
+    }
+
+    #[test]
+    fn scale_mismatch_and_result_drift_are_flagged() {
+        let baseline = artifact(0.25, 0.010, 0.9);
+        let fresh = artifact(0.5, 0.010, 0.8);
+        assert!(!same_scale(&baseline, &fresh));
+        let deltas = fig12_deltas(&baseline, &fresh);
+        assert!(!deltas[0].same_result());
+    }
+
+    #[test]
+    fn missing_methods_are_skipped_not_fatal() {
+        let baseline = artifact(0.25, 0.010, 0.9);
+        let empty = Json::object().field("domains", Json::Array(vec![]));
+        assert!(fig12_deltas(&baseline, &empty).is_empty());
+        assert!(fig12_deltas(&empty, &baseline).is_empty());
+    }
+
+    #[test]
+    fn parses_the_checked_in_artifact_shape() {
+        let rendered = artifact(0.25, 0.010, 0.9).render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(fig12_deltas(&parsed, &parsed).len(), 1);
+    }
+}

@@ -4,10 +4,12 @@
 //! See DESIGN.md for the experiment index (which binary regenerates which
 //! table/figure) and EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod compare;
 pub mod json;
 pub mod report;
 pub mod setup;
 
+pub use compare::{fig12_deltas, print_fig12_comparison, Fig12Delta};
 pub use json::Json;
 pub use report::{format_percent, Table};
 pub use setup::{vs_paper, ExpArgs};

@@ -4,19 +4,22 @@
 //! Every `exp_*` binary accepts the same optional arguments:
 //!
 //! ```text
-//! exp_<name> [--scale S] [--days D] [--seed N]
+//! exp_<name> [--scale S] [--days D] [--seed N] [--compare FILE]
 //! ```
 //!
 //! * `--scale` multiplies the number of objects (default 0.25 — a quarter of
 //!   the paper's 1000 stocks / 1200 flights — so the experiments run in
 //!   seconds; pass 1.0 to reproduce at full scale);
 //! * `--days`  multiplies the number of collection days (default 0.25);
-//! * `--seed`  master seed (default 2012, the paper's publication year).
+//! * `--seed`  master seed (default 2012, the paper's publication year);
+//! * `--compare` (only meaningful to `exp_fig12_efficiency`) diffs the fresh
+//!   run against a checked-in `BENCH_fig12.json` trajectory point and prints
+//!   per-method speedup/regression.
 
 use datagen::{flight_config, generate, stock_config, GeneratedDomain};
 
 /// Parsed experiment arguments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpArgs {
     /// Object-count multiplier relative to the paper scale.
     pub scale: f64,
@@ -24,6 +27,9 @@ pub struct ExpArgs {
     pub days: f64,
     /// Master seed.
     pub seed: u64,
+    /// Baseline artifact to diff a fresh run against
+    /// (`exp_fig12_efficiency --compare BENCH_fig12.json`).
+    pub compare: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -32,6 +38,7 @@ impl Default for ExpArgs {
             scale: 0.25,
             days: 0.25,
             seed: 2012,
+            compare: None,
         }
     }
 }
@@ -59,6 +66,12 @@ impl ExpArgs {
                 "--seed" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         parsed.seed = v;
+                    }
+                    i += 1;
+                }
+                "--compare" => {
+                    if let Some(v) = args.get(i + 1) {
+                        parsed.compare = Some(v.clone());
                     }
                     i += 1;
                 }

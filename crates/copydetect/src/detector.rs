@@ -156,22 +156,42 @@ impl CopyDetector {
             .map(|(i, s)| (*s, i))
             .collect();
 
-        // Index every source's claims in ONE pass over the observation table
-        // (items arrive in increasing item order, so each per-source list is
-        // item-sorted and pair scoring can merge-join two lists instead of
-        // re-scanning the snapshot per source).
-        let mut claims: Vec<Vec<(ItemId, &Value)>> = vec![Vec::new(); sources.len()];
+        // Index every source's claims into ONE flat CSR array instead of S
+        // heap vectors (mirroring the fusion problem's claim layout): tag
+        // each observation with its dense source index in a single pass over
+        // the observation table, prefix-sum the per-source counts, then
+        // scatter — O(claims), and because the tagged list is in increasing
+        // item order, each per-source extent stays item-sorted so pair
+        // scoring can merge-join two contiguous slices instead of
+        // re-scanning the snapshot per source.
+        let mut tagged: Vec<(usize, (ItemId, &Value))> = Vec::new();
+        let mut offsets = vec![0u32; sources.len() + 1];
         for (item, obs) in snapshot.items() {
             for o in obs {
                 if let Some(&s) = source_index.get(&o.source) {
-                    claims[s].push((*item, &o.value));
+                    offsets[s + 1] += 1;
+                    tagged.push((s, (*item, &o.value)));
                 }
             }
         }
+        for s in 0..sources.len() {
+            offsets[s + 1] += offsets[s];
+        }
+        let mut cursors: Vec<u32> = offsets[..sources.len()].to_vec();
+        // Any real entry works as scatter filler; an empty table has nothing
+        // to scatter.
+        let mut claims: Vec<(ItemId, &Value)> = match tagged.first() {
+            Some(&(_, filler)) => vec![filler; tagged.len()],
+            None => Vec::new(),
+        };
+        for &(s, kv) in &tagged {
+            claims[cursors[s] as usize] = kv;
+            cursors[s] += 1;
+        }
+        let claims_of = |s: usize| &claims[offsets[s] as usize..offsets[s + 1] as usize];
 
-        let error_rates: Vec<f64> = claims
-            .iter()
-            .map(|c| self.error_rate(snapshot, reference, c))
+        let error_rates: Vec<f64> = (0..sources.len())
+            .map(|s| self.error_rate(snapshot, reference, claims_of(s)))
             .collect();
 
         let mut report = CopyReport {
@@ -183,8 +203,8 @@ impl CopyDetector {
                 let p = self.pair_probability(
                     snapshot,
                     reference,
-                    &claims[i],
-                    &claims[j],
+                    claims_of(i),
+                    claims_of(j),
                     error_rates[i],
                     error_rates[j],
                 );

@@ -32,4 +32,4 @@ pub use copymatrix::CopyMatrix;
 pub use methods::FusionMethod;
 pub use problem::{Candidate, FusionProblem, PreparedItem};
 pub use registry::{all_methods, method_by_name, MethodCategory};
-pub use types::{FusionOptions, FusionResult, TrustEstimate};
+pub use types::{AttrTrust, FusionOptions, FusionResult, TrustEstimate, VotePlane};

@@ -18,19 +18,8 @@
 
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::{FusionProblem, PreparedItem};
-use crate::types::{argmax_selection, FusionOptions, FusionResult, TrustEstimate};
+use crate::types::{argmax_selection, AttrTrust, FusionOptions, FusionResult, TrustEstimate, VotePlane};
 use std::time::Instant;
-
-/// Largest candidate count of any item — the size the per-item scratch
-/// buffers of the iterative methods need.
-pub(crate) fn max_candidates(problem: &FusionProblem) -> usize {
-    problem
-        .items
-        .iter()
-        .map(|i| i.candidates.len())
-        .max()
-        .unwrap_or(0)
-}
 
 /// TRUTHFINDER (Yin et al.).
 #[derive(Debug, Clone, Copy)]
@@ -61,31 +50,28 @@ impl FusionMethod for TruthFinder {
     fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, self.initial_trust);
-        let mut confidence: Vec<Vec<f64>> = problem
-            .items
-            .iter()
-            .map(|i| vec![0.0; i.candidates.len()])
-            .collect();
-        let mut raw = vec![0.0; max_candidates(problem)];
+        let mut confidence = VotePlane::for_problem(problem);
+        let mut raw = vec![0.0; problem.max_candidates()];
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
-            for (i, item) in problem.items.iter().enumerate() {
+            for (i, item) in problem.items().enumerate() {
                 // Raw trustworthiness score: sum of -ln(1 - τ) over providers.
-                for (c, cand) in item.candidates.iter().enumerate() {
+                for (c, cand) in item.candidates().enumerate() {
                     raw[c] = cand
-                        .providers
+                        .providers()
                         .iter()
-                        .map(|&s| -(1.0 - trust.of(s, item.attr).min(0.999)).ln())
+                        .map(|&s| -(1.0 - trust.of(s as usize, item.attr()).min(0.999)).ln())
                         .sum();
                 }
                 // Similarity adjustment and sigmoid.
-                for (c, cand) in item.candidates.iter().enumerate() {
+                let out = confidence.item_mut(i);
+                for (c, cand) in item.candidates().enumerate() {
                     let mut adjusted = raw[c];
-                    for &(j, sim) in &cand.similar {
-                        adjusted += self.rho * sim * raw[j];
+                    for &(j, sim) in cand.similar() {
+                        adjusted += self.rho * sim * raw[j as usize];
                     }
-                    confidence[i][c] = 1.0 / (1.0 + (-self.gamma * adjusted).exp());
+                    out[c] = 1.0 / (1.0 + (-self.gamma * adjusted).exp());
                 }
             }
             // Trust update: average confidence of the source's claims.
@@ -98,7 +84,7 @@ impl FusionMethod for TruthFinder {
             }
         }
         let selection = argmax_selection(&confidence);
-        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
 
@@ -175,16 +161,16 @@ impl Accu {
     }
 
     /// Per-provider vote score for candidate `c` of `item` under accuracy `a`.
-    pub(crate) fn provider_score(&self, a: f64, item: &PreparedItem, c: usize) -> f64 {
+    pub(crate) fn provider_score(&self, a: f64, item: PreparedItem<'_>, c: usize) -> f64 {
         let a = a.clamp(0.01, 0.99);
         match self.variant {
             AccuVariant::PopAccu => {
                 // Popularity-aware false-value prior: popular values get less
                 // of a boost per provider, so copied false values stop
                 // dominating.
-                let total: usize = item.candidates.iter().map(|cc| cc.providers.len()).sum();
-                let support = item.candidates[c].providers.len();
-                let k = item.candidates.len() as f64;
+                let total = item.total_provider_slots();
+                let support = item.candidate(c).providers().len();
+                let k = item.num_candidates() as f64;
                 let pop = (support as f64 + 0.5) / (total as f64 + 0.5 * k);
                 (a / (1.0 - a)).ln() - pop.ln()
             }
@@ -221,40 +207,36 @@ impl FusionMethod for Accu {
         let mut opts = options.clone();
         opts.per_attribute_trust = opts.per_attribute_trust || self.per_attribute;
         let mut trust = initial_trust(problem, &opts, self.initial_accuracy);
-        let mut probabilities: Vec<Vec<f64>> = problem
-            .items
-            .iter()
-            .map(|i| vec![0.0; i.candidates.len()])
-            .collect();
-        let mut votes = vec![0.0; max_candidates(problem)];
-        let mut adjusted = vec![0.0; max_candidates(problem)];
+        let mut probabilities = VotePlane::for_problem(problem);
+        let mut votes = vec![0.0; problem.max_candidates()];
+        let mut adjusted = vec![0.0; problem.max_candidates()];
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(&opts) {
             rounds += 1;
-            for (i, item) in problem.items.iter().enumerate() {
-                let num_candidates = item.candidates.len();
-                for (c, cand) in item.candidates.iter().enumerate() {
+            for (i, item) in problem.items().enumerate() {
+                let num_candidates = item.num_candidates();
+                for (c, cand) in item.candidates().enumerate() {
                     votes[c] = cand
-                        .providers
+                        .providers()
                         .iter()
-                        .map(|&s| self.provider_score(trust.of(s, item.attr), item, c))
+                        .map(|&s| self.provider_score(trust.of(s as usize, item.attr()), item, c))
                         .sum();
                 }
-                for (c, cand) in item.candidates.iter().enumerate() {
+                for (c, cand) in item.candidates().enumerate() {
                     let mut v = votes[c];
                     if self.uses_similarity() {
-                        for &(j, sim) in &cand.similar {
-                            v += self.rho * sim * votes[j];
+                        for &(j, sim) in cand.similar() {
+                            v += self.rho * sim * votes[j as usize];
                         }
                     }
                     if self.uses_formatting() {
-                        for &j in &cand.coarse_supporters {
-                            v += self.format_weight * votes[j];
+                        for &j in cand.coarse_supporters() {
+                            v += self.format_weight * votes[j as usize];
                         }
                     }
                     adjusted[c] = v;
                 }
-                softmax_into(&adjusted[..num_candidates], &mut probabilities[i]);
+                softmax_into(&adjusted[..num_candidates], probabilities.item_mut(i));
             }
             let mut new_trust = trust.clone();
             update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
@@ -266,7 +248,7 @@ impl FusionMethod for Accu {
             }
         }
         let selection = argmax_selection(&probabilities);
-        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
 
@@ -290,30 +272,32 @@ pub(crate) fn softmax_into(scores: &[f64], out: &mut [f64]) {
 /// each source, optionally per attribute.
 pub(crate) fn update_trust_from_scores(
     problem: &FusionProblem,
-    scores: &[Vec<f64>],
+    scores: &VotePlane,
     options: &FusionOptions,
     trust: &mut TrustEstimate,
 ) {
     let per_attr = options.per_attribute_trust || trust.per_attr.is_some();
+    let num_attrs = problem.num_attrs;
     let mut overall_sum = vec![0.0; problem.num_sources()];
     let mut overall_count = vec![0usize; problem.num_sources()];
     // The S×A accumulators are only needed (and only allocated) for the
-    // per-attribute variants.
+    // per-attribute variants; they share the flat `source * num_attrs + attr`
+    // layout of [`AttrTrust`].
     let mut attr_sum = Vec::new();
     let mut attr_count = Vec::new();
     if per_attr {
-        attr_sum = vec![vec![0.0; problem.num_attrs]; problem.num_sources()];
-        attr_count = vec![vec![0usize; problem.num_attrs]; problem.num_sources()];
+        attr_sum = vec![0.0; num_attrs * problem.num_sources()];
+        attr_count = vec![0usize; num_attrs * problem.num_sources()];
     }
-    for (s, claims) in problem.claims.iter().enumerate() {
+    for (s, claims) in problem.claims_by_source().enumerate() {
         for &(i, c) in claims {
-            let score = scores[i][c];
+            let score = scores.get(i as usize, c as usize);
             overall_sum[s] += score;
             overall_count[s] += 1;
             if per_attr {
-                let a = problem.items[i].attr;
-                attr_sum[s][a] += score;
-                attr_count[s][a] += 1;
+                let a = problem.item_attr(i as usize);
+                attr_sum[s * num_attrs + a] += score;
+                attr_count[s * num_attrs + a] += 1;
             }
         }
     }
@@ -325,15 +309,16 @@ pub(crate) fn update_trust_from_scores(
     if per_attr {
         let pa = trust
             .per_attr
-            .get_or_insert_with(|| vec![vec![0.8; problem.num_attrs]; problem.num_sources()]);
+            .get_or_insert_with(|| AttrTrust::filled(problem.num_sources(), num_attrs, 0.8));
         for s in 0..problem.num_sources() {
-            for a in 0..problem.num_attrs {
-                if attr_count[s][a] > 0 {
-                    pa[s][a] = attr_sum[s][a] / attr_count[s][a] as f64;
+            for a in 0..num_attrs {
+                let k = s * num_attrs + a;
+                if attr_count[k] > 0 {
+                    pa.set(s, a, attr_sum[k] / attr_count[k] as f64);
                 } else {
                     // Attributes the source does not provide inherit its
                     // overall trust.
-                    pa[s][a] = trust.overall[s];
+                    pa.set(s, a, trust.overall[s]);
                 }
             }
         }
@@ -346,10 +331,8 @@ pub(crate) fn clamp_trust(trust: &mut TrustEstimate, lo: f64, hi: f64) {
         *t = t.clamp(lo, hi);
     }
     if let Some(pa) = trust.per_attr.as_mut() {
-        for row in pa.iter_mut() {
-            for t in row.iter_mut() {
-                *t = t.clamp(lo, hi);
-            }
+        for t in pa.values_mut() {
+            *t = t.clamp(lo, hi);
         }
     }
 }
@@ -416,8 +399,8 @@ mod tests {
         let result = Accu::accuformat_attr().run(&problem, &FusionOptions::standard());
         assert_eq!(result.method, "AccuFormatAttr");
         let pa = result.trust.per_attr.as_ref().expect("per-attribute trust");
-        assert_eq!(pa.len(), problem.num_sources());
-        assert_eq!(pa[0].len(), problem.num_attrs);
+        assert_eq!(pa.num_sources(), problem.num_sources());
+        assert_eq!(pa.num_attrs(), problem.num_attrs);
     }
 
     #[test]

@@ -32,12 +32,10 @@
 //!   the increments (two `ln` calls) per shared item.
 
 use crate::copymatrix::{triangular_slot, CopyMatrix};
-use crate::methods::bayesian::{
-    clamp_trust, max_candidates, softmax_into, update_trust_from_scores, Accu,
-};
+use crate::methods::bayesian::{clamp_trust, softmax_into, update_trust_from_scores, Accu};
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{argmax_selection_into, FusionOptions, FusionResult};
+use crate::types::{argmax_selection_into, FusionOptions, FusionResult, VotePlane};
 use std::time::Instant;
 
 /// ACCUCOPY.
@@ -84,19 +82,15 @@ impl FusionMethod for AccuCopy {
         let mut error_rates = vec![0.0; problem.num_sources()];
 
         let mut trust = initial_trust(problem, &opts, self.base.initial_accuracy);
-        let mut probabilities: Vec<Vec<f64>> = problem
-            .items
-            .iter()
-            .map(|i| vec![0.0; i.candidates.len()])
-            .collect();
+        let mut probabilities = VotePlane::for_problem(problem);
         // Start from the dominant-value selection for the first copy-detection
         // pass.
         let mut selection = vec![0usize; problem.num_items()];
         // Reusable per-item scratch (votes, similarity-adjusted votes) and
         // per-candidate provider ordering — no allocations inside the rounds.
-        let mut votes = vec![0.0; max_candidates(problem)];
-        let mut adjusted = vec![0.0; max_candidates(problem)];
-        let mut ordered_providers: Vec<usize> = Vec::new();
+        let mut votes = vec![0.0; problem.max_candidates()];
+        let mut adjusted = vec![0.0; problem.max_candidates()];
+        let mut ordered_providers: Vec<u32> = Vec::new();
 
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(&opts) {
@@ -116,21 +110,22 @@ impl FusionMethod for AccuCopy {
                 }
                 (None, None) => unreachable!("co-claims are built whenever no oracle is given"),
             };
-            for (i, item) in problem.items.iter().enumerate() {
-                let num_candidates = item.candidates.len();
+            for (i, item) in problem.items().enumerate() {
+                let num_candidates = item.num_candidates();
+                let attr = item.attr();
                 // Independence-discounted vote: order providers by accuracy
                 // and discount each by the probability that it copied from an
                 // earlier provider of the same value.
-                for (c, cand) in item.candidates.iter().enumerate() {
+                for (c, cand) in item.candidates().enumerate() {
                     ordered_providers.clear();
-                    ordered_providers.extend_from_slice(&cand.providers);
+                    ordered_providers.extend_from_slice(cand.providers());
                     // The index tiebreak makes the order a strict total order
                     // over distinct provider indices, so the unstable sort is
                     // deterministic.
                     ordered_providers.sort_unstable_by(|&a, &b| {
                         trust
-                            .of(b, item.attr)
-                            .partial_cmp(&trust.of(a, item.attr))
+                            .of(b as usize, attr)
+                            .partial_cmp(&trust.of(a as usize, attr))
                             .unwrap_or(std::cmp::Ordering::Equal)
                             .then(a.cmp(&b))
                     });
@@ -138,25 +133,25 @@ impl FusionMethod for AccuCopy {
                     for (k, &s) in ordered_providers.iter().enumerate() {
                         let mut independent = 1.0;
                         for &earlier in &ordered_providers[..k] {
-                            let p = copy_probs.get(s, earlier);
+                            let p = copy_probs.get(s as usize, earlier as usize);
                             independent *= 1.0 - self.copy_rate * p;
                         }
                         vote += independent
-                            * self.base.provider_score(trust.of(s, item.attr), item, c);
+                            * self.base.provider_score(trust.of(s as usize, attr), item, c);
                     }
                     votes[c] = vote;
                 }
-                for (c, cand) in item.candidates.iter().enumerate() {
+                for (c, cand) in item.candidates().enumerate() {
                     let mut v = votes[c];
-                    for &(j, sim) in &cand.similar {
-                        v += self.base.rho * sim * votes[j];
+                    for &(j, sim) in cand.similar() {
+                        v += self.base.rho * sim * votes[j as usize];
                     }
-                    for &j in &cand.coarse_supporters {
-                        v += self.base.format_weight * votes[j];
+                    for &j in cand.coarse_supporters() {
+                        v += self.base.format_weight * votes[j as usize];
                     }
                     adjusted[c] = v;
                 }
-                softmax_into(&adjusted[..num_candidates], &mut probabilities[i]);
+                softmax_into(&adjusted[..num_candidates], probabilities.item_mut(i));
             }
             argmax_selection_into(&probabilities, &mut selection);
             let mut new_trust = trust.clone();
@@ -168,7 +163,7 @@ impl FusionMethod for AccuCopy {
                 break;
             }
         }
-        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
 
@@ -204,10 +199,10 @@ impl CoClaims {
         // pairs that actually co-claim — unlike the S²·I dense-table scan.
         let mut counts = vec![0u32; num_slots];
         let mut item_claims: Vec<(usize, usize)> = Vec::new();
-        for item in &problem.items {
+        for item in problem.items() {
             item_claims.clear();
-            for (c, cand) in item.candidates.iter().enumerate() {
-                item_claims.extend(cand.providers.iter().map(|&s| (s, c)));
+            for (c, cand) in item.candidates().enumerate() {
+                item_claims.extend(cand.providers().iter().map(|&s| (s as usize, c)));
             }
             for (x, &(sa, _)) in item_claims.iter().enumerate() {
                 for &(sb, _) in &item_claims[x + 1..] {
@@ -240,10 +235,10 @@ impl CoClaims {
         // the scoring loop (and its floating-point accumulation) expects.
         let mut cursors: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
         let mut entries = vec![(0u32, 0u32, 0u32); total as usize];
-        for (i, item) in problem.items.iter().enumerate() {
+        for (i, item) in problem.items().enumerate() {
             item_claims.clear();
-            for (c, cand) in item.candidates.iter().enumerate() {
-                item_claims.extend(cand.providers.iter().map(|&s| (s, c)));
+            for (c, cand) in item.candidates().enumerate() {
+                item_claims.extend(cand.providers().iter().map(|&s| (s as usize, c)));
             }
             for (x, &(sa, ca)) in item_claims.iter().enumerate() {
                 for &(sb, cb) in &item_claims[x + 1..] {
@@ -297,14 +292,14 @@ impl CoClaims {
     ) {
         out.clear();
         // Error rate of each source w.r.t. the current selection.
-        for (rate, claims) in error_rates.iter_mut().zip(&problem.claims) {
+        for (rate, claims) in error_rates.iter_mut().zip(problem.claims_by_source()) {
             if claims.is_empty() {
                 *rate = 0.2;
                 continue;
             }
             let wrong = claims
                 .iter()
-                .filter(|&&(i, c)| selection.get(i).copied().unwrap_or(0) != c)
+                .filter(|&&(i, c)| selection.get(i as usize).copied().unwrap_or(0) != c as usize)
                 .count();
             *rate = (wrong as f64 / claims.len() as f64).clamp(0.01, 0.99);
         }
@@ -564,8 +559,7 @@ mod tests {
         let co = CoClaims::build(&problem, 0);
         assert_eq!(co.num_pairs(), 7 * 6 / 2);
         let naive: usize = problem
-            .items
-            .iter()
+            .items()
             .map(|i| i.num_providers() * (i.num_providers() - 1) / 2)
             .sum();
         assert_eq!(co.num_entries(), naive);

@@ -14,7 +14,9 @@
 
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{argmax_selection, rescale_to_unit, FusionOptions, FusionResult, TrustEstimate};
+use crate::types::{
+    argmax_selection, rescale_to_unit, FusionOptions, FusionResult, TrustEstimate, VotePlane,
+};
 use std::time::Instant;
 
 /// COSINE: source trust is the cosine similarity between the source's ±1
@@ -49,22 +51,27 @@ impl FusionMethod for Cosine {
     fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 0.8);
-        let mut estimates: Vec<Vec<f64>> = problem
-            .items
-            .iter()
-            .map(|i| vec![0.0; i.candidates.len()])
-            .collect();
+        let mut estimates = VotePlane::for_problem(problem);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
             // Truth estimate per candidate in [-1, 1]: supporters minus
             // opponents, normalized by the total trust on the item.
-            for (i, item) in problem.items.iter().enumerate() {
-                let total: f64 = item.providers.iter().map(|&s| trust.overall[s]).sum();
-                for (c, cand) in item.candidates.iter().enumerate() {
-                    let support: f64 = cand.providers.iter().map(|&s| trust.overall[s]).sum();
+            for (i, item) in problem.items().enumerate() {
+                let total: f64 = item
+                    .providers()
+                    .iter()
+                    .map(|&s| trust.overall[s as usize])
+                    .sum();
+                let out = estimates.item_mut(i);
+                for (c, cand) in item.candidates().enumerate() {
+                    let support: f64 = cand
+                        .providers()
+                        .iter()
+                        .map(|&s| trust.overall[s as usize])
+                        .sum();
                     let oppose = total - support;
-                    estimates[i][c] = if total > 0.0 {
+                    out[c] = if total > 0.0 {
                         (support - oppose) / total
                     } else {
                         0.0
@@ -74,16 +81,16 @@ impl FusionMethod for Cosine {
             // Cosine similarity between each source's ±1 vector and the
             // estimates at the positions the source covers.
             let mut new_trust = vec![0.0; problem.num_sources()];
-            for (s, claims) in problem.claims.iter().enumerate() {
+            for (s, claims) in problem.claims_by_source().enumerate() {
                 let mut dot = 0.0_f64;
                 let mut claim_norm = 0.0_f64;
                 let mut est_norm = 0.0_f64;
                 for &(i, c) in claims {
-                    for (c2, _) in problem.items[i].candidates.iter().enumerate() {
-                        let claim_entry = if c2 == c { 1.0 } else { -1.0 };
-                        dot += claim_entry * estimates[i][c2];
+                    for (c2, &e) in estimates.item(i as usize).iter().enumerate() {
+                        let claim_entry = if c2 == c as usize { 1.0 } else { -1.0 };
+                        dot += claim_entry * e;
                         claim_norm += 1.0;
-                        est_norm += estimates[i][c2] * estimates[i][c2];
+                        est_norm += e * e;
                     }
                 }
                 let denom = claim_norm.sqrt() * est_norm.sqrt();
@@ -102,7 +109,7 @@ impl FusionMethod for Cosine {
             }
         }
         let selection = argmax_selection(&estimates);
-        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
 
@@ -116,11 +123,7 @@ fn run_estimates(
 ) -> FusionResult {
     let start = Instant::now();
     let mut trust = initial_trust(problem, options, 0.8);
-    let mut votes: Vec<Vec<f64>> = problem
-        .items
-        .iter()
-        .map(|i| vec![0.0; i.candidates.len()])
-        .collect();
+    let mut votes = VotePlane::for_problem(problem);
     // Per-item difficulty in [0, 1]; 0 = easy (votes count fully).
     let mut hardness = vec![0.5; problem.num_items()];
     let mut rounds = 0usize;
@@ -128,7 +131,7 @@ fn run_estimates(
         rounds += 1;
         // Complement-aware vote: providers contribute their (difficulty-
         // dampened) trust, non-providers contribute their distrust.
-        for (i, item) in problem.items.iter().enumerate() {
+        for (i, item) in problem.items().enumerate() {
             let dampen = |t: f64| -> f64 {
                 if difficulty {
                     t * (1.0 - hardness[i]) + 0.5 * hardness[i]
@@ -136,48 +139,42 @@ fn run_estimates(
                     t
                 }
             };
-            for (c, cand) in item.candidates.iter().enumerate() {
+            let out = votes.item_mut(i);
+            for (c, cand) in item.candidates().enumerate() {
                 let mut vote = 0.0;
-                for &s in &item.providers {
-                    let t = dampen(trust.overall[s]);
-                    if cand.providers.contains(&s) {
+                for &s in item.providers() {
+                    let t = dampen(trust.overall[s as usize]);
+                    if cand.providers().contains(&s) {
                         vote += t;
                     } else {
                         vote += 1.0 - t;
                     }
                 }
-                votes[i][c] = vote / item.providers.len().max(1) as f64;
+                out[c] = vote / item.num_providers().max(1) as f64;
             }
         }
-        // Affine rescaling of all votes to [0, 1].
-        let mut flat: Vec<f64> = votes.iter().flatten().copied().collect();
-        rescale_to_unit(&mut flat);
-        let mut k = 0;
-        for item_votes in votes.iter_mut() {
-            for v in item_votes.iter_mut() {
-                *v = flat[k];
-                k += 1;
-            }
-        }
+        // Affine rescaling of all votes to [0, 1] — the plane is already the
+        // flat item-major vector the old code materialized each round.
+        rescale_to_unit(votes.values_mut());
         // Difficulty update: items whose best value is uncertain are hard.
         if difficulty {
-            for (i, item_votes) in votes.iter().enumerate() {
-                let best = item_votes.iter().cloned().fold(0.0, f64::max);
-                hardness[i] = (1.0 - best).clamp(0.0, 1.0);
+            for (i, h) in hardness.iter_mut().enumerate() {
+                let best = votes.item(i).iter().cloned().fold(0.0, f64::max);
+                *h = (1.0 - best).clamp(0.0, 1.0);
             }
         }
         // Trust update: average over claimed values' votes and the complement
         // of the competing values' votes; then affine rescaling.
         let mut new_trust = vec![0.0; problem.num_sources()];
-        for (s, claims) in problem.claims.iter().enumerate() {
+        for (s, claims) in problem.claims_by_source().enumerate() {
             let mut acc = 0.0;
             let mut count = 0usize;
             for &(i, c) in claims {
-                for (c2, _) in problem.items[i].candidates.iter().enumerate() {
-                    if c2 == c {
-                        acc += votes[i][c2];
+                for (c2, &v) in votes.item(i as usize).iter().enumerate() {
+                    if c2 == c as usize {
+                        acc += v;
                     } else {
-                        acc += 1.0 - votes[i][c2];
+                        acc += 1.0 - v;
                     }
                     count += 1;
                 }
@@ -196,7 +193,7 @@ fn run_estimates(
         }
     }
     let selection = argmax_selection(&votes);
-    FusionResult::from_selection(name, problem, selection, trust, rounds, start.elapsed())
+    FusionResult::from_selection(name, problem, selection, trust, rounds, start)
 }
 
 impl FusionMethod for TwoEstimates {

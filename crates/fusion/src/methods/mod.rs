@@ -31,29 +31,6 @@ pub trait FusionMethod: Send + Sync {
     fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult;
 }
 
-/// Compute per-item, per-candidate trust-weighted vote counts:
-/// `votes[item][candidate] = Σ_{s ∈ providers} trust(s, attr(item))`.
-pub(crate) fn weighted_votes(
-    problem: &FusionProblem,
-    trust: &crate::types::TrustEstimate,
-) -> Vec<Vec<f64>> {
-    problem
-        .items
-        .iter()
-        .map(|item| {
-            item.candidates
-                .iter()
-                .map(|cand| {
-                    cand.providers
-                        .iter()
-                        .map(|&s| trust.of(s, item.attr))
-                        .sum()
-                })
-                .collect()
-        })
-        .collect()
-}
-
 /// Initial trust for iterative methods: the supplied input trust when present,
 /// otherwise a uniform default.
 pub(crate) fn initial_trust(
@@ -71,7 +48,7 @@ pub(crate) fn initial_trust(
         for (i, t) in input.iter().enumerate().take(problem.num_sources()) {
             trust.overall[i] = *t;
             if let Some(pa) = trust.per_attr.as_mut() {
-                for slot in pa[i].iter_mut() {
+                for slot in pa.row_mut(i) {
                     *slot = *t;
                 }
             }
@@ -217,7 +194,7 @@ pub(crate) mod testutil {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::TrustEstimate;
+    use crate::types::{TrustEstimate, VotePlane};
 
     #[test]
     fn weighted_votes_use_trust() {
@@ -225,16 +202,16 @@ mod tests {
         let problem = FusionProblem::from_snapshot(&snap);
         let mut trust = TrustEstimate::uniform(3, 1, 1.0, false);
         trust.overall[2] = 0.0;
-        let votes = weighted_votes(&problem, &trust);
-        assert_eq!(votes.len(), problem.num_items());
+        let mut votes = VotePlane::for_problem(&problem);
+        votes.accumulate_weighted_votes(&problem, &trust);
+        assert_eq!(votes.num_items(), problem.num_items());
         // Item 0: candidate 10.0 has providers s0+s1 (trust 2.0), 20.0 has s2 (0.0).
         let item0 = problem
-            .items
-            .iter()
-            .position(|i| i.id.object == datamodel::ObjectId(0))
+            .items()
+            .position(|i| i.id().object == datamodel::ObjectId(0))
             .unwrap();
-        assert_eq!(votes[item0][0], 2.0);
-        assert_eq!(votes[item0][1], 0.0);
+        assert_eq!(votes.get(item0, 0), 2.0);
+        assert_eq!(votes.get(item0, 1), 0.0);
     }
 
     #[test]

@@ -1,23 +1,97 @@
 //! Test-only oracle: the pre-dense-layout ACCUCOPY implementation.
 //!
 //! The dense hot path (triangular [`CopyMatrix`](crate::copymatrix::CopyMatrix),
-//! CSR co-claims, scratch buffers) is a *representation* change — the
-//! equivalence tests in [`copyaware`](super::copyaware) assert that every
-//! selection and trust vector is bit-identical to what this original
-//! map-based implementation computes. Keep this file in sync with nothing:
-//! it is frozen on purpose.
+//! CSR co-claims, the flat [`VotePlane`](crate::types::VotePlane), scratch
+//! buffers) is a *representation* change — the equivalence tests in
+//! [`copyaware`](super::copyaware) assert that every selection and trust
+//! vector is bit-identical to what this original map-and-nested-`Vec`
+//! implementation computes. Keep this file in sync with nothing: it is frozen
+//! on purpose. (It reads the problem through the thin slice views — the only
+//! access path that still exists — but every per-round structure it builds is
+//! the original nested one, and its private helpers are verbatim copies of
+//! the pre-flattening `argmax_selection` and `update_trust_from_scores`.)
 
-use crate::methods::bayesian::{clamp_trust, softmax_into, update_trust_from_scores};
+use crate::methods::bayesian::{clamp_trust, softmax_into};
 use crate::methods::copyaware::AccuCopy;
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{argmax_selection, FusionOptions, FusionResult};
+use crate::types::{AttrTrust, FusionOptions, FusionResult, TrustEstimate};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn pair_probability(probs: &BTreeMap<(usize, usize), f64>, a: usize, b: usize) -> f64 {
     let key = if a <= b { (a, b) } else { (b, a) };
     probs.get(&key).copied().unwrap_or(0.0)
+}
+
+/// The original nested-`Vec` argmax: ties go to the lower candidate index.
+fn nested_argmax_selection(votes: &[Vec<f64>]) -> Vec<usize> {
+    votes
+        .iter()
+        .map(|item_votes| {
+            let mut best = 0usize;
+            let mut best_vote = f64::NEG_INFINITY;
+            for (i, &v) in item_votes.iter().enumerate() {
+                if v > best_vote + 1e-12 {
+                    best = i;
+                    best_vote = v;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// The original trust update over nested per-item score rows, with the
+/// original `Vec<Vec<_>>` S×A accumulators.
+fn nested_update_trust_from_scores(
+    problem: &FusionProblem,
+    scores: &[Vec<f64>],
+    options: &FusionOptions,
+    trust: &mut TrustEstimate,
+) {
+    let per_attr = options.per_attribute_trust || trust.per_attr.is_some();
+    let mut overall_sum = vec![0.0; problem.num_sources()];
+    let mut overall_count = vec![0usize; problem.num_sources()];
+    let mut attr_sum: Vec<Vec<f64>> = Vec::new();
+    let mut attr_count: Vec<Vec<usize>> = Vec::new();
+    if per_attr {
+        attr_sum = vec![vec![0.0; problem.num_attrs]; problem.num_sources()];
+        attr_count = vec![vec![0usize; problem.num_attrs]; problem.num_sources()];
+    }
+    for (s, claims) in problem.claims_by_source().enumerate() {
+        for &(i, c) in claims {
+            let score = scores[i as usize][c as usize];
+            overall_sum[s] += score;
+            overall_count[s] += 1;
+            if per_attr {
+                let a = problem.item_attr(i as usize);
+                attr_sum[s][a] += score;
+                attr_count[s][a] += 1;
+            }
+        }
+    }
+    for s in 0..problem.num_sources() {
+        if overall_count[s] > 0 {
+            trust.overall[s] = overall_sum[s] / overall_count[s] as f64;
+        }
+    }
+    if per_attr {
+        let pa = trust
+            .per_attr
+            .get_or_insert_with(|| AttrTrust::filled(problem.num_sources(), problem.num_attrs, 0.8));
+        for s in 0..problem.num_sources() {
+            for a in 0..problem.num_attrs {
+                if attr_count[s][a] > 0 {
+                    pa.set(s, a, attr_sum[s][a] / attr_count[s][a] as f64);
+                } else {
+                    // Attributes the source does not provide inherit its
+                    // overall trust.
+                    pa.set(s, a, trust.overall[s]);
+                }
+            }
+        }
+    }
 }
 
 /// The original `detect_copying`: rebuilds the dense S×I claim table and
@@ -31,21 +105,20 @@ pub(crate) fn reference_detect_copying(
 ) -> BTreeMap<(usize, usize), f64> {
     let num_sources = problem.num_sources();
     let mut table: Vec<Vec<Option<u32>>> = vec![vec![None; problem.num_items()]; num_sources];
-    for (s, claims) in problem.claims.iter().enumerate() {
+    for (s, claims) in problem.claims_by_source().enumerate() {
         for &(i, c) in claims {
-            table[s][i] = Some(c as u32);
+            table[s][i as usize] = Some(c);
         }
     }
     let error_rate: Vec<f64> = problem
-        .claims
-        .iter()
+        .claims_by_source()
         .map(|claims| {
             if claims.is_empty() {
                 return 0.2;
             }
             let wrong = claims
                 .iter()
-                .filter(|&&(i, c)| selection.get(i).copied().unwrap_or(0) != c)
+                .filter(|&&(i, c)| selection.get(i as usize).copied().unwrap_or(0) != c as usize)
                 .count();
             (wrong as f64 / claims.len() as f64).clamp(0.01, 0.99)
         })
@@ -108,9 +181,8 @@ pub(crate) fn reference_run(
         .map(|m| m.pairs().collect());
     let mut trust = initial_trust(problem, &opts, method.base.initial_accuracy);
     let mut probabilities: Vec<Vec<f64>> = problem
-        .items
-        .iter()
-        .map(|i| vec![0.0; i.candidates.len()])
+        .items()
+        .map(|i| vec![0.0; i.num_candidates()])
         .collect();
     let mut selection = vec![0usize; problem.num_items()];
     let mut rounds = 0usize;
@@ -126,17 +198,17 @@ pub(crate) fn reference_run(
                 method.min_shared_items,
             ),
         };
-        for (i, item) in problem.items.iter().enumerate() {
+        for (i, item) in problem.items().enumerate() {
             let votes: Vec<f64> = item
-                .candidates
-                .iter()
+                .candidates()
                 .enumerate()
                 .map(|(c, cand)| {
-                    let mut providers: Vec<usize> = cand.providers.clone();
+                    let mut providers: Vec<usize> =
+                        cand.providers().iter().map(|&s| s as usize).collect();
                     providers.sort_by(|&a, &b| {
                         trust
-                            .of(b, item.attr)
-                            .partial_cmp(&trust.of(a, item.attr))
+                            .of(b, item.attr())
+                            .partial_cmp(&trust.of(a, item.attr()))
                             .unwrap_or(std::cmp::Ordering::Equal)
                             .then(a.cmp(&b))
                     });
@@ -148,31 +220,30 @@ pub(crate) fn reference_run(
                             independent *= 1.0 - method.copy_rate * p;
                         }
                         vote += independent
-                            * method.base.provider_score(trust.of(s, item.attr), item, c);
+                            * method.base.provider_score(trust.of(s, item.attr()), item, c);
                     }
                     vote
                 })
                 .collect();
             let adjusted: Vec<f64> = item
-                .candidates
-                .iter()
+                .candidates()
                 .enumerate()
                 .map(|(c, cand)| {
                     let mut v = votes[c];
-                    for &(j, sim) in &cand.similar {
-                        v += method.base.rho * sim * votes[j];
+                    for &(j, sim) in cand.similar() {
+                        v += method.base.rho * sim * votes[j as usize];
                     }
-                    for &j in &cand.coarse_supporters {
-                        v += method.base.format_weight * votes[j];
+                    for &j in cand.coarse_supporters() {
+                        v += method.base.format_weight * votes[j as usize];
                     }
                     v
                 })
                 .collect();
             softmax_into(&adjusted, &mut probabilities[i]);
         }
-        selection = argmax_selection(&probabilities);
+        selection = nested_argmax_selection(&probabilities);
         let mut new_trust = trust.clone();
-        update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
+        nested_update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
         clamp_trust(&mut new_trust, 0.01, 0.99);
         let change = new_trust.max_change(&trust);
         trust = new_trust;
@@ -186,6 +257,6 @@ pub(crate) fn reference_run(
         selection,
         trust,
         rounds,
-        start.elapsed(),
+        start,
     )
 }

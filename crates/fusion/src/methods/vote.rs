@@ -30,7 +30,7 @@ impl FusionMethod for Vote {
         // the dominant values, which is the natural a-posteriori reading.
         let mut agree = vec![0usize; problem.num_sources()];
         let mut total = vec![0usize; problem.num_sources()];
-        for (s, claims) in problem.claims.iter().enumerate() {
+        for (s, claims) in problem.claims_by_source().enumerate() {
             for &(_item, cand) in claims {
                 total[s] += 1;
                 if cand == 0 {
@@ -53,7 +53,7 @@ impl FusionMethod for Vote {
                 per_attr: None,
             },
             0,
-            start.elapsed(),
+            start,
         )
     }
 }

@@ -13,9 +13,11 @@
 //! drifts far away from sampled accuracies, reproducing the large trust
 //! deviation the paper reports for it).
 
-use crate::methods::{effective_rounds, initial_trust, weighted_votes, FusionMethod};
+use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{argmax_selection, normalize_by_max, FusionOptions, FusionResult, TrustEstimate};
+use crate::types::{
+    argmax_selection, normalize_by_max, FusionOptions, FusionResult, TrustEstimate, VotePlane,
+};
 use std::time::Instant;
 
 /// HUB (Kleinberg-style sums): a value's vote is the sum of its providers'
@@ -64,23 +66,18 @@ impl FusionMethod for Hub {
     fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
-        let mut votes = weighted_votes(problem, &trust);
+        let mut votes = VotePlane::for_problem(problem);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
-            votes = weighted_votes(problem, &trust);
-            let mut flat: Vec<f64> = votes.iter().flatten().copied().collect();
-            normalize_by_max(&mut flat);
-            let mut k = 0;
-            for item_votes in votes.iter_mut() {
-                for v in item_votes.iter_mut() {
-                    *v = flat[k];
-                    k += 1;
-                }
-            }
+            votes.accumulate_weighted_votes(problem, &trust);
+            normalize_by_max(votes.values_mut());
             let mut new_trust = vec![0.0; problem.num_sources()];
-            for (s, claims) in problem.claims.iter().enumerate() {
-                new_trust[s] = claims.iter().map(|&(i, c)| votes[i][c]).sum();
+            for (s, claims) in problem.claims_by_source().enumerate() {
+                new_trust[s] = claims
+                    .iter()
+                    .map(|&(i, c)| votes.get(i as usize, c as usize))
+                    .sum();
             }
             normalize_by_max(&mut new_trust);
             let new_estimate = TrustEstimate {
@@ -94,7 +91,7 @@ impl FusionMethod for Hub {
             }
         }
         let selection = argmax_selection(&votes);
-        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
 
@@ -106,27 +103,22 @@ impl FusionMethod for AvgLog {
     fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
-        let mut votes = weighted_votes(problem, &trust);
+        let mut votes = VotePlane::for_problem(problem);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
-            votes = weighted_votes(problem, &trust);
-            let mut flat: Vec<f64> = votes.iter().flatten().copied().collect();
-            normalize_by_max(&mut flat);
-            let mut k = 0;
-            for item_votes in votes.iter_mut() {
-                for v in item_votes.iter_mut() {
-                    *v = flat[k];
-                    k += 1;
-                }
-            }
+            votes.accumulate_weighted_votes(problem, &trust);
+            normalize_by_max(votes.values_mut());
             let mut new_trust = vec![0.0; problem.num_sources()];
-            for (s, claims) in problem.claims.iter().enumerate() {
+            for (s, claims) in problem.claims_by_source().enumerate() {
                 if claims.is_empty() {
                     continue;
                 }
-                let avg: f64 =
-                    claims.iter().map(|&(i, c)| votes[i][c]).sum::<f64>() / claims.len() as f64;
+                let avg: f64 = claims
+                    .iter()
+                    .map(|&(i, c)| votes.get(i as usize, c as usize))
+                    .sum::<f64>()
+                    / claims.len() as f64;
                 new_trust[s] = (1.0 + claims.len() as f64).ln() * avg;
             }
             normalize_by_max(&mut new_trust);
@@ -141,7 +133,7 @@ impl FusionMethod for AvgLog {
             }
         }
         let selection = argmax_selection(&votes);
-        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start.elapsed())
+        FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
 
@@ -155,45 +147,44 @@ fn run_invest(
 ) -> FusionResult {
     let start = Instant::now();
     let mut trust = initial_trust(problem, options, 1.0);
-    let mut votes: Vec<Vec<f64>> = problem
-        .items
-        .iter()
-        .map(|i| vec![0.0; i.candidates.len()])
-        .collect();
+    let mut votes = VotePlane::for_problem(problem);
+    // Reusable per-round buffers: per-source investment and the per-item
+    // non-linear-growth scratch.
+    let mut invested = vec![0.0; problem.num_sources()];
+    let mut grown = vec![0.0; problem.max_candidates()];
     let mut rounds = 0usize;
     for _ in 0..effective_rounds(options) {
         rounds += 1;
         // Invested amount per source: trust spread uniformly over its claims.
-        let invested: Vec<f64> = problem
-            .claims
-            .iter()
-            .enumerate()
-            .map(|(s, claims)| {
-                if claims.is_empty() {
-                    0.0
-                } else {
-                    trust.overall[s] / claims.len() as f64
-                }
-            })
-            .collect();
+        for (s, claims) in problem.claims_by_source().enumerate() {
+            invested[s] = if claims.is_empty() {
+                0.0
+            } else {
+                trust.overall[s] / claims.len() as f64
+            };
+        }
         // Accumulated investment per candidate.
-        let mut pooled_votes: Vec<Vec<f64>> = problem
-            .items
-            .iter()
-            .map(|item| {
-                item.candidates
+        for (i, item) in problem.items().enumerate() {
+            let out = votes.item_mut(i);
+            for (slot, cand) in out.iter_mut().zip(item.candidates()) {
+                *slot = cand
+                    .providers()
                     .iter()
-                    .map(|cand| cand.providers.iter().map(|&s| invested[s]).sum::<f64>())
-                    .collect()
-            })
-            .collect();
+                    .map(|&s| invested[s as usize])
+                    .sum::<f64>();
+            }
+        }
         // Non-linear growth, optionally rescaled per item so the votes sum to
         // the total investment on the item.
-        for item_votes in pooled_votes.iter_mut() {
+        for i in 0..problem.num_items() {
+            let item_votes = votes.item_mut(i);
             let total: f64 = item_votes.iter().sum();
-            let grown: Vec<f64> = item_votes.iter().map(|h| h.powf(growth)).collect();
+            let grown = &mut grown[..item_votes.len()];
+            for (g, h) in grown.iter_mut().zip(item_votes.iter()) {
+                *g = h.powf(growth);
+            }
             let grown_total: f64 = grown.iter().sum();
-            for (slot, g) in item_votes.iter_mut().zip(&grown) {
+            for (slot, g) in item_votes.iter_mut().zip(grown.iter()) {
                 *slot = if pooled {
                     if grown_total > 0.0 {
                         g / grown_total * total
@@ -205,20 +196,21 @@ fn run_invest(
                 };
             }
         }
-        votes = pooled_votes;
 
         // Pay the votes back to the investors, proportionally to their share
         // of the investment.
         let mut new_trust = vec![0.0; problem.num_sources()];
-        for (s, claims) in problem.claims.iter().enumerate() {
+        for (s, claims) in problem.claims_by_source().enumerate() {
             for &(i, c) in claims {
-                let total_investment: f64 = problem.items[i].candidates[c]
-                    .providers
+                let total_investment: f64 = problem
+                    .item(i as usize)
+                    .candidate(c as usize)
+                    .providers()
                     .iter()
-                    .map(|&p| invested[p])
+                    .map(|&p| invested[p as usize])
                     .sum();
                 if total_investment > 0.0 {
-                    new_trust[s] += votes[i][c] * invested[s] / total_investment;
+                    new_trust[s] += votes.get(i as usize, c as usize) * invested[s] / total_investment;
                 }
             }
         }
@@ -236,7 +228,7 @@ fn run_invest(
         }
     }
     let selection = argmax_selection(&votes);
-    FusionResult::from_selection(name, problem, selection, trust, rounds, start.elapsed())
+    FusionResult::from_selection(name, problem, selection, trust, rounds, start)
 }
 
 impl FusionMethod for Invest {

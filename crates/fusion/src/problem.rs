@@ -1,52 +1,36 @@
-//! Preparation of a snapshot into the dense representation the fusion
+//! Preparation of a snapshot into the flat CSR representation the fusion
 //! methods iterate over.
 //!
 //! Preparing once and sharing across methods keeps the per-method cost down
 //! to the iterative vote/trust updates, mirroring how the paper times the
 //! methods (bucketing and normalization are data preparation, not fusion).
+//!
+//! # Memory layout
+//!
+//! Everything the per-round loops read lives in contiguous arrays indexed by
+//! offset tables (CSR), not in per-item heap vectors:
+//!
+//! * candidates are numbered **globally** (item-major, support-ordered within
+//!   each item); `item_cand_offsets` maps an item to its global candidate
+//!   range, and one `Vec<Value>` holds every candidate value;
+//! * per-candidate providers, similarity links, and coarse (formatting)
+//!   supporters are three flat arrays with one shared offset table each,
+//!   indexed by global candidate;
+//! * per-item provider unions and per-source claim lists are two more CSR
+//!   pairs.
+//!
+//! The nested view the methods were written against survives as *thin slice
+//! views*: [`PreparedItem`] and [`Candidate`] are `Copy` handles carrying a
+//! problem reference and an index, and every accessor returns a slice into
+//! the flat arrays. The inner vote loops therefore walk contiguous memory
+//! the compiler can keep in cache (and vectorize), while reading like the
+//! original nested code.
 
 use datamodel::{ItemId, Snapshot, SourceId, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
 
-/// One candidate (tolerance-bucketed) value of a data item.
-#[derive(Debug, Clone)]
-pub struct Candidate {
-    /// Representative value of the bucket.
-    pub value: Value,
-    /// Dense indices of the sources providing this value.
-    pub providers: Vec<usize>,
-    /// Similarity to the other candidates of the same item:
-    /// `(candidate index, similarity in (0, 1])`, only entries above the
-    /// similarity floor are stored.
-    pub similar: Vec<(usize, f64)>,
-    /// Candidate indices whose (coarser, rounded) value subsumes this one —
-    /// their providers partially support this candidate under the
-    /// formatting-aware methods.
-    pub coarse_supporters: Vec<usize>,
-}
-
-/// A data item prepared for fusion.
-#[derive(Debug, Clone)]
-pub struct PreparedItem {
-    /// The item identity.
-    pub id: ItemId,
-    /// Dense attribute index.
-    pub attr: usize,
-    /// Candidate values, ordered by descending support (the first candidate
-    /// is the dominant value).
-    pub candidates: Vec<Candidate>,
-    /// Dense indices of all sources providing any value for this item.
-    pub providers: Vec<usize>,
-}
-
-impl PreparedItem {
-    /// Total number of providers of the item.
-    pub fn num_providers(&self) -> usize {
-        self.providers.len()
-    }
-}
-
-/// A full snapshot prepared for fusion.
+/// A full snapshot prepared for fusion, laid out as flat CSR arrays.
 #[derive(Debug, Clone)]
 pub struct FusionProblem {
     /// Sources, in dense-index order.
@@ -54,23 +38,201 @@ pub struct FusionProblem {
     /// Number of global attributes (dense attribute indices are
     /// `0..num_attrs`).
     pub num_attrs: usize,
-    /// Prepared items.
-    pub items: Vec<PreparedItem>,
-    /// For every source (dense index), the list of its claims as
-    /// `(item index, candidate index)`.
-    pub claims: Vec<Vec<(usize, usize)>>,
+    /// Item identities, in item-index order.
+    item_ids: Vec<ItemId>,
+    /// Dense attribute index per item.
+    item_attrs: Vec<u32>,
+    /// Global-candidate extent per item (`num_items + 1` offsets). Candidate
+    /// `c` of item `i` has global index `item_cand_offsets[i] + c`.
+    item_cand_offsets: Vec<u32>,
+    /// Representative value per global candidate, ordered by descending
+    /// support within each item (the first candidate is the dominant value).
+    cand_values: Vec<Value>,
+    /// Provider extent per global candidate (`num_candidates + 1` offsets).
+    provider_offsets: Vec<u32>,
+    /// Dense source indices providing each candidate, flattened.
+    providers: Vec<u32>,
+    /// Similarity-link extent per global candidate.
+    similar_offsets: Vec<u32>,
+    /// `(local candidate index, similarity in (0, 1])` links, flattened; only
+    /// entries above the similarity floor are stored.
+    similar: Vec<(u32, f64)>,
+    /// Coarse-supporter extent per global candidate.
+    coarse_offsets: Vec<u32>,
+    /// Local candidate indices whose (coarser, rounded) value subsumes the
+    /// candidate, flattened.
+    coarse_supporters: Vec<u32>,
+    /// Provider-union extent per item.
+    item_provider_offsets: Vec<u32>,
+    /// Sorted, deduplicated dense source indices providing anything for each
+    /// item, flattened.
+    item_providers: Vec<u32>,
+    /// Claim extent per source (`num_sources + 1` offsets).
+    claim_offsets: Vec<u32>,
+    /// `(item index, local candidate index)` claims, flattened per source in
+    /// item order.
+    claims: Vec<(u32, u32)>,
     // O(1) reverse lookup of `sources`; built once at preparation time so
     // per-pair conversions (copy reports, error analysis) don't pay a linear
     // scan per source.
     source_index: HashMap<SourceId, usize>,
 }
 
+/// Thin view of one prepared data item: a `Copy` handle into the problem's
+/// flat arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedItem<'a> {
+    problem: &'a FusionProblem,
+    index: usize,
+}
+
+/// Thin view of one candidate (tolerance-bucketed) value of a data item,
+/// addressed by its global candidate index.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate<'a> {
+    problem: &'a FusionProblem,
+    global: usize,
+}
+
+impl<'a> PreparedItem<'a> {
+    /// Index of the item within the problem.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The item identity.
+    #[inline]
+    pub fn id(&self) -> ItemId {
+        self.problem.item_ids[self.index]
+    }
+
+    /// Dense attribute index.
+    #[inline]
+    pub fn attr(&self) -> usize {
+        self.problem.item_attrs[self.index] as usize
+    }
+
+    /// Global candidate range of the item.
+    #[inline]
+    pub fn cand_range(&self) -> Range<usize> {
+        self.problem.item_cand_offsets[self.index] as usize
+            ..self.problem.item_cand_offsets[self.index + 1] as usize
+    }
+
+    /// Number of candidate values.
+    #[inline]
+    pub fn num_candidates(&self) -> usize {
+        self.cand_range().len()
+    }
+
+    /// Candidate `c` (local index) of the item.
+    #[inline]
+    pub fn candidate(&self, c: usize) -> Candidate<'a> {
+        let range = self.cand_range();
+        debug_assert!(c < range.len());
+        Candidate {
+            problem: self.problem,
+            global: range.start + c,
+        }
+    }
+
+    /// Candidate views, ordered by descending support (the first candidate
+    /// is the dominant value).
+    #[inline]
+    pub fn candidates(&self) -> impl ExactSizeIterator<Item = Candidate<'a>> + '_ {
+        let problem = self.problem;
+        self.cand_range().map(move |global| Candidate { problem, global })
+    }
+
+    /// Dense indices of all sources providing any value for this item
+    /// (sorted, deduplicated).
+    #[inline]
+    pub fn providers(&self) -> &'a [u32] {
+        let lo = self.problem.item_provider_offsets[self.index] as usize;
+        let hi = self.problem.item_provider_offsets[self.index + 1] as usize;
+        &self.problem.item_providers[lo..hi]
+    }
+
+    /// Total number of providers of the item.
+    #[inline]
+    pub fn num_providers(&self) -> usize {
+        self.providers().len()
+    }
+
+    /// Total number of (candidate, provider) claim slots on the item —
+    /// `Σ_c providers(c)`, one contiguous-offset subtraction.
+    #[inline]
+    pub fn total_provider_slots(&self) -> usize {
+        let range = self.cand_range();
+        (self.problem.provider_offsets[range.end] - self.problem.provider_offsets[range.start])
+            as usize
+    }
+}
+
+impl<'a> Candidate<'a> {
+    /// Local candidate index within its item (the index selections use).
+    #[inline]
+    pub fn local_index(&self) -> usize {
+        // Selections are per-item local indices; recover via the item range.
+        let item = self
+            .problem
+            .item_cand_offsets
+            .partition_point(|&o| (o as usize) <= self.global)
+            - 1;
+        self.global - self.problem.item_cand_offsets[item] as usize
+    }
+
+    /// Representative value of the bucket.
+    #[inline]
+    pub fn value(&self) -> &'a Value {
+        &self.problem.cand_values[self.global]
+    }
+
+    /// Dense indices of the sources providing this value.
+    #[inline]
+    pub fn providers(&self) -> &'a [u32] {
+        let lo = self.problem.provider_offsets[self.global] as usize;
+        let hi = self.problem.provider_offsets[self.global + 1] as usize;
+        &self.problem.providers[lo..hi]
+    }
+
+    /// Similarity to the other candidates of the same item:
+    /// `(local candidate index, similarity in (0, 1])`, only entries above
+    /// the similarity floor are stored.
+    #[inline]
+    pub fn similar(&self) -> &'a [(u32, f64)] {
+        let lo = self.problem.similar_offsets[self.global] as usize;
+        let hi = self.problem.similar_offsets[self.global + 1] as usize;
+        &self.problem.similar[lo..hi]
+    }
+
+    /// Local candidate indices whose (coarser, rounded) value subsumes this
+    /// one — their providers partially support this candidate under the
+    /// formatting-aware methods.
+    #[inline]
+    pub fn coarse_supporters(&self) -> &'a [u32] {
+        let lo = self.problem.coarse_offsets[self.global] as usize;
+        let hi = self.problem.coarse_offsets[self.global + 1] as usize;
+        &self.problem.coarse_supporters[lo..hi]
+    }
+}
+
 /// Similarities below this floor are not stored (they contribute nothing
 /// measurable to the similarity-aware methods but would bloat the problem).
 const SIMILARITY_FLOOR: f64 = 0.05;
 
+// Candidate values of one item during construction, before flattening.
+struct TempCandidate {
+    value: Value,
+    providers: Vec<u32>,
+    similar: Vec<(u32, f64)>,
+    coarse_supporters: Vec<u32>,
+}
+
 impl FusionProblem {
-    /// Prepare `snapshot` for fusion.
+    /// Prepare `snapshot` for fusion: bucket candidates, compute similarity
+    /// and formatting links, then lay everything out as flat CSR arrays.
     pub fn from_snapshot(snapshot: &Snapshot) -> Self {
         let sources: Vec<SourceId> = snapshot.active_sources().into_iter().collect();
         let source_index: HashMap<SourceId, usize> = sources
@@ -80,8 +242,19 @@ impl FusionProblem {
             .collect();
         let num_attrs = snapshot.schema().num_attributes();
 
-        let mut items = Vec::with_capacity(snapshot.num_items());
-        let mut claims: Vec<Vec<(usize, usize)>> = vec![Vec::new(); sources.len()];
+        let mut item_ids = Vec::with_capacity(snapshot.num_items());
+        let mut item_attrs = Vec::with_capacity(snapshot.num_items());
+        let mut item_cand_offsets: Vec<u32> = vec![0];
+        let mut cand_values: Vec<Value> = Vec::new();
+        let mut provider_offsets: Vec<u32> = vec![0];
+        let mut providers: Vec<u32> = Vec::new();
+        let mut similar_offsets: Vec<u32> = vec![0];
+        let mut similar: Vec<(u32, f64)> = Vec::new();
+        let mut coarse_offsets: Vec<u32> = vec![0];
+        let mut coarse_supporters: Vec<u32> = Vec::new();
+        let mut item_provider_offsets: Vec<u32> = vec![0];
+        let mut item_providers: Vec<u32> = Vec::new();
+        let mut claims_nested: Vec<Vec<(u32, u32)>> = vec![Vec::new(); sources.len()];
 
         for (item_id, _) in snapshot.items() {
             let buckets = snapshot.buckets(*item_id);
@@ -89,14 +262,14 @@ impl FusionProblem {
                 continue;
             }
             let scale = snapshot.tolerance().similarity_scale(item_id.attr);
-            let mut candidates: Vec<Candidate> = buckets
+            let mut candidates: Vec<TempCandidate> = buckets
                 .iter()
-                .map(|b| Candidate {
+                .map(|b| TempCandidate {
                     value: b.representative.clone(),
                     providers: b
                         .providers
                         .iter()
-                        .filter_map(|s| source_index.get(s).copied())
+                        .filter_map(|s| source_index.get(s).map(|&i| i as u32))
                         .collect(),
                     similar: Vec::new(),
                     coarse_supporters: Vec::new(),
@@ -111,37 +284,72 @@ impl FusionProblem {
                     }
                     let sim = candidates[i].value.similarity(&candidates[j].value, scale);
                     if sim > SIMILARITY_FLOOR {
-                        candidates[i].similar.push((j, sim));
+                        candidates[i].similar.push((j as u32, sim));
                     }
                     if candidates[j].value.subsumes(&candidates[i].value) {
-                        candidates[i].coarse_supporters.push(j);
+                        candidates[i].coarse_supporters.push(j as u32);
                     }
                 }
             }
 
-            let item_index = items.len();
-            let mut providers: Vec<usize> = Vec::new();
-            for (cand_index, cand) in candidates.iter().enumerate() {
+            let item_index = item_ids.len() as u32;
+            let union_start = item_providers.len();
+            for (cand_index, cand) in candidates.into_iter().enumerate() {
                 for &s in &cand.providers {
-                    claims[s].push((item_index, cand_index));
-                    providers.push(s);
+                    claims_nested[s as usize].push((item_index, cand_index as u32));
+                    item_providers.push(s);
+                }
+                cand_values.push(cand.value);
+                providers.extend_from_slice(&cand.providers);
+                provider_offsets.push(providers.len() as u32);
+                similar.extend_from_slice(&cand.similar);
+                similar_offsets.push(similar.len() as u32);
+                coarse_supporters.extend_from_slice(&cand.coarse_supporters);
+                coarse_offsets.push(coarse_supporters.len() as u32);
+            }
+            let union = &mut item_providers[union_start..];
+            union.sort_unstable();
+            let mut kept = union_start;
+            for k in union_start..item_providers.len() {
+                if k == union_start || item_providers[k] != item_providers[k - 1] {
+                    item_providers[kept] = item_providers[k];
+                    kept += 1;
                 }
             }
-            providers.sort_unstable();
-            providers.dedup();
+            item_providers.truncate(kept);
+            item_provider_offsets.push(item_providers.len() as u32);
+            item_cand_offsets.push(cand_values.len() as u32);
 
-            items.push(PreparedItem {
-                id: *item_id,
-                attr: item_id.attr.index(),
-                candidates,
-                providers,
-            });
+            item_ids.push(*item_id);
+            item_attrs.push(item_id.attr.index() as u32);
+        }
+
+        // Flatten the per-source claim lists (each already in item order).
+        let mut claim_offsets: Vec<u32> = Vec::with_capacity(sources.len() + 1);
+        claim_offsets.push(0);
+        let mut claims: Vec<(u32, u32)> =
+            Vec::with_capacity(claims_nested.iter().map(Vec::len).sum());
+        for list in claims_nested {
+            claims.extend_from_slice(&list);
+            claim_offsets.push(claims.len() as u32);
         }
 
         Self {
             sources,
             num_attrs,
-            items,
+            item_ids,
+            item_attrs,
+            item_cand_offsets,
+            cand_values,
+            provider_offsets,
+            providers,
+            similar_offsets,
+            similar,
+            coarse_offsets,
+            coarse_supporters,
+            item_provider_offsets,
+            item_providers,
+            claim_offsets,
             claims,
             source_index,
         }
@@ -154,12 +362,68 @@ impl FusionProblem {
 
     /// Number of prepared items.
     pub fn num_items(&self) -> usize {
-        self.items.len()
+        self.item_ids.len()
+    }
+
+    /// Total number of candidate values across all items (the length of the
+    /// global candidate axis a [`crate::types::VotePlane`] spans).
+    pub fn num_candidates(&self) -> usize {
+        self.cand_values.len()
+    }
+
+    /// Largest candidate count of any item — the size the per-item scratch
+    /// buffers of the iterative methods need.
+    pub fn max_candidates(&self) -> usize {
+        self.item_cand_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of claims.
     pub fn num_claims(&self) -> usize {
-        self.claims.iter().map(Vec::len).sum()
+        self.claims.len()
+    }
+
+    /// View of item `i`.
+    #[inline]
+    pub fn item(&self, i: usize) -> PreparedItem<'_> {
+        debug_assert!(i < self.num_items());
+        PreparedItem { problem: self, index: i }
+    }
+
+    /// Views of all prepared items, in item-index order.
+    #[inline]
+    pub fn items(&self) -> impl ExactSizeIterator<Item = PreparedItem<'_>> + '_ {
+        (0..self.num_items()).map(move |index| PreparedItem { problem: self, index })
+    }
+
+    /// Dense attribute index of item `i` (O(1), no view construction).
+    #[inline]
+    pub fn item_attr(&self, i: usize) -> usize {
+        self.item_attrs[i] as usize
+    }
+
+    /// The claims of source `s` as `(item index, local candidate index)`
+    /// pairs, in item order.
+    #[inline]
+    pub fn claims(&self, s: usize) -> &[(u32, u32)] {
+        &self.claims[self.claim_offsets[s] as usize..self.claim_offsets[s + 1] as usize]
+    }
+
+    /// Per-source claim slices, in dense source-index order.
+    #[inline]
+    pub fn claims_by_source(&self) -> impl ExactSizeIterator<Item = &[(u32, u32)]> + '_ {
+        (0..self.num_sources()).map(move |s| self.claims(s))
+    }
+
+    /// Global-candidate offset table (`num_items + 1` entries); shared with
+    /// [`crate::types::VotePlane`] so vote storage and problem layout can
+    /// never drift apart.
+    #[inline]
+    pub fn item_cand_offsets(&self) -> &[u32] {
+        &self.item_cand_offsets
     }
 
     /// Dense index of a source id, if it is part of the problem (O(1)).
@@ -169,12 +433,14 @@ impl FusionProblem {
 
     /// Turn a per-item candidate selection into an item → value mapping.
     pub fn selection_to_values(&self, selection: &[usize]) -> BTreeMap<ItemId, Value> {
-        self.items
+        self.item_ids
             .iter()
+            .zip(self.item_cand_offsets.windows(2))
             .zip(selection)
-            .map(|(item, &cand)| {
-                let idx = cand.min(item.candidates.len().saturating_sub(1));
-                (item.id, item.candidates[idx].value.clone())
+            .map(|((id, w), &cand)| {
+                let len = (w[1] - w[0]) as usize;
+                let idx = cand.min(len.saturating_sub(1));
+                (*id, self.cand_values[w[0] as usize + idx].clone())
             })
             .collect()
     }
@@ -215,55 +481,56 @@ mod tests {
         assert_eq!(problem.num_items(), 2);
         assert_eq!(problem.num_claims(), 5);
         assert_eq!(problem.num_attrs, 2);
+        assert_eq!(problem.num_candidates(), 4);
+        assert_eq!(problem.max_candidates(), 2);
     }
 
     #[test]
     fn candidates_ordered_by_support() {
         let problem = FusionProblem::from_snapshot(&snapshot());
         let price_item = problem
-            .items
-            .iter()
-            .find(|i| i.id.attr == AttrId(0))
+            .items()
+            .find(|i| i.id().attr == AttrId(0))
             .unwrap();
-        assert_eq!(price_item.candidates.len(), 2);
-        assert_eq!(price_item.candidates[0].providers.len(), 2);
-        assert_eq!(price_item.candidates[1].providers.len(), 1);
+        assert_eq!(price_item.num_candidates(), 2);
+        assert_eq!(price_item.candidate(0).providers().len(), 2);
+        assert_eq!(price_item.candidate(1).providers().len(), 1);
         assert_eq!(price_item.num_providers(), 3);
+        assert_eq!(price_item.total_provider_slots(), 3);
+        assert_eq!(price_item.candidate(1).local_index(), 1);
     }
 
     #[test]
     fn similarity_and_formatting_links() {
         let problem = FusionProblem::from_snapshot(&snapshot());
         let price_item = problem
-            .items
-            .iter()
-            .find(|i| i.id.attr == AttrId(0))
+            .items()
+            .find(|i| i.id().attr == AttrId(0))
             .unwrap();
         // 100.0 and 105.0 are similar numeric values.
-        assert!(!price_item.candidates[0].similar.is_empty());
+        assert!(!price_item.candidate(0).similar().is_empty());
 
         let volume_item = problem
-            .items
-            .iter()
-            .find(|i| i.id.attr == AttrId(1))
+            .items()
+            .find(|i| i.id().attr == AttrId(1))
             .unwrap();
         // The exact value is subsumed by the rounded one.
         let fine = volume_item
-            .candidates
-            .iter()
-            .position(|c| c.value == Value::number(7_528_396.0))
+            .candidates()
+            .position(|c| c.value() == &Value::number(7_528_396.0))
             .unwrap();
-        assert!(!volume_item.candidates[fine].coarse_supporters.is_empty());
+        assert!(!volume_item.candidate(fine).coarse_supporters().is_empty());
     }
 
     #[test]
     fn claims_are_indexed_per_source() {
         let problem = FusionProblem::from_snapshot(&snapshot());
         let s0 = problem.source_index(SourceId(0)).unwrap();
-        assert_eq!(problem.claims[s0].len(), 2);
+        assert_eq!(problem.claims(s0).len(), 2);
         let s3 = problem.source_index(SourceId(3)).unwrap();
-        assert_eq!(problem.claims[s3].len(), 1);
+        assert_eq!(problem.claims(s3).len(), 1);
         assert_eq!(problem.source_index(SourceId(9)), None);
+        assert_eq!(problem.claims_by_source().map(<[_]>::len).sum::<usize>(), 5);
     }
 
     #[test]
@@ -276,5 +543,19 @@ mod tests {
             values[&ItemId::new(ObjectId(0), AttrId(0))],
             Value::number(100.0)
         );
+    }
+
+    #[test]
+    fn offset_tables_are_consistent() {
+        let problem = FusionProblem::from_snapshot(&snapshot());
+        let offsets = problem.item_cand_offsets();
+        assert_eq!(offsets.len(), problem.num_items() + 1);
+        assert_eq!(*offsets.last().unwrap() as usize, problem.num_candidates());
+        // Every item's candidate views agree with the offsets.
+        for item in problem.items() {
+            assert_eq!(item.candidates().len(), item.num_candidates());
+            let slots: usize = item.candidates().map(|c| c.providers().len()).sum();
+            assert_eq!(slots, item.total_provider_slots());
+        }
     }
 }

@@ -1,10 +1,11 @@
-//! Options, trust estimates, and results shared by all fusion methods.
+//! Options, trust estimates, vote storage, and results shared by all fusion
+//! methods.
 
 use crate::copymatrix::CopyMatrix;
 use crate::problem::FusionProblem;
 use datamodel::{ItemId, Value};
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Options controlling a fusion run.
 #[derive(Debug, Clone, Default)]
@@ -62,14 +63,87 @@ impl FusionOptions {
     }
 }
 
+/// Per-(source, attribute) trust in structure-of-arrays layout: one flat
+/// `Vec<f64>` indexed `source * num_attrs + attr`, so the `*ATTR` variants'
+/// inner `trust.of(s, attr)` reads are a single cache-linear index instead of
+/// one heap hop per source row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrTrust {
+    num_attrs: usize,
+    /// Flat values, indexed `source * num_attrs + attr`.
+    values: Vec<f64>,
+}
+
+impl AttrTrust {
+    /// A matrix with every entry set to `value`.
+    pub fn filled(num_sources: usize, num_attrs: usize, value: f64) -> Self {
+        Self {
+            num_attrs,
+            values: vec![value; num_sources * num_attrs],
+        }
+    }
+
+    /// Number of attributes per source (the row stride).
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.values.len().checked_div(self.num_attrs).unwrap_or(0)
+    }
+
+    /// Trust of `source` on attribute `attr`.
+    #[inline]
+    pub fn of(&self, source: usize, attr: usize) -> f64 {
+        debug_assert!(attr < self.num_attrs);
+        self.values[source * self.num_attrs + attr]
+    }
+
+    /// Set the trust of `source` on attribute `attr`.
+    #[inline]
+    pub fn set(&mut self, source: usize, attr: usize, value: f64) {
+        debug_assert!(attr < self.num_attrs);
+        self.values[source * self.num_attrs + attr] = value;
+    }
+
+    /// The per-attribute row of one source.
+    #[inline]
+    pub fn row(&self, source: usize) -> &[f64] {
+        &self.values[source * self.num_attrs..(source + 1) * self.num_attrs]
+    }
+
+    /// Mutable per-attribute row of one source.
+    #[inline]
+    pub fn row_mut(&mut self, source: usize) -> &mut [f64] {
+        &mut self.values[source * self.num_attrs..(source + 1) * self.num_attrs]
+    }
+
+    /// All values, source-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to all values, source-major.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+}
+
 /// Final trust estimates of a fusion run.
+///
+/// Iterative convergence is defined on the [`overall`](Self::overall) vector
+/// **only**: [`max_change`](Self::max_change) ignores `per_attr` entirely, so
+/// the `*ATTR` variants stop exactly when their overall trust stabilizes even
+/// if individual (source, attribute) cells are still moving. This is pinned
+/// by a regression test and must survive representation changes.
 #[derive(Debug, Clone)]
 pub struct TrustEstimate {
     /// Per-source trust, indexed like `FusionProblem::sources`.
     pub overall: Vec<f64>,
-    /// Per-(source, attribute) trust for the `*ATTR` variants, indexed
-    /// `[source][attribute]`.
-    pub per_attr: Option<Vec<Vec<f64>>>,
+    /// Per-(source, attribute) trust for the `*ATTR` variants, in flat SoA
+    /// layout (see [`AttrTrust`]).
+    pub per_attr: Option<AttrTrust>,
 }
 
 impl TrustEstimate {
@@ -77,7 +151,7 @@ impl TrustEstimate {
     pub fn uniform(num_sources: usize, num_attrs: usize, value: f64, per_attr: bool) -> Self {
         Self {
             overall: vec![value; num_sources],
-            per_attr: per_attr.then(|| vec![vec![value; num_attrs]; num_sources]),
+            per_attr: per_attr.then(|| AttrTrust::filled(num_sources, num_attrs, value)),
         }
     }
 
@@ -85,12 +159,14 @@ impl TrustEstimate {
     #[inline]
     pub fn of(&self, source: usize, attr: usize) -> f64 {
         match &self.per_attr {
-            Some(pa) => pa[source][attr],
+            Some(pa) => pa.of(source, attr),
             None => self.overall[source],
         }
     }
 
-    /// L∞ distance between two estimates' overall vectors (convergence check).
+    /// L∞ distance between two estimates' **overall** vectors — the
+    /// convergence check. Per-attribute trust deliberately does not
+    /// participate (see the type-level docs).
     pub fn max_change(&self, other: &TrustEstimate) -> f64 {
         self.overall
             .iter()
@@ -100,12 +176,152 @@ impl TrustEstimate {
     }
 }
 
+/// Per-candidate vote (score, probability, confidence…) storage for one
+/// fusion round: a single flat `Vec<f64>` over the problem's global candidate
+/// axis plus the same item → candidate offset table the problem uses.
+///
+/// Replaces the `Vec<Vec<f64>>` the methods used to allocate every round:
+/// one plane is created per run and re-filled in place, so the inner vote
+/// loop is a gather-multiply-add over contiguous slices the compiler can
+/// vectorize, and per-round allocations disappear.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VotePlane {
+    /// `num_items + 1` offsets into `values` (clone of
+    /// [`FusionProblem::item_cand_offsets`]).
+    offsets: Vec<u32>,
+    /// One value per global candidate, item-major.
+    values: Vec<f64>,
+}
+
+impl VotePlane {
+    /// A zeroed plane spanning every candidate of `problem`.
+    pub fn for_problem(problem: &FusionProblem) -> Self {
+        Self {
+            offsets: problem.item_cand_offsets().to_vec(),
+            values: vec![0.0; problem.num_candidates()],
+        }
+    }
+
+    /// Build a plane from nested per-item rows (test and migration
+    /// convenience — the hot paths never materialize nested rows).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0u32);
+        let mut values = Vec::new();
+        for row in rows {
+            values.extend_from_slice(row);
+            offsets.push(values.len() as u32);
+        }
+        Self { offsets, values }
+    }
+
+    /// Number of items the plane spans.
+    pub fn num_items(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of candidate slots.
+    pub fn num_candidates(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The votes of item `i`, one slot per candidate.
+    #[inline]
+    pub fn item(&self, i: usize) -> &[f64] {
+        &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Mutable votes of item `i`.
+    #[inline]
+    pub fn item_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The vote of candidate `c` (local index) of item `i`.
+    #[inline]
+    pub fn get(&self, i: usize, c: usize) -> f64 {
+        self.values[self.offsets[i] as usize + c]
+    }
+
+    /// All values, item-major (the order `rescale_to_unit` /
+    /// `normalize_by_max` historically saw when the nested rows were
+    /// flattened).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to all values, item-major.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Set every slot to `x`.
+    pub fn fill(&mut self, x: f64) {
+        self.values.fill(x);
+    }
+
+    /// Accumulate trust-weighted vote counts over `problem`:
+    /// `votes[item][candidate] = Σ_{s ∈ providers} trust(s, attr(item))`.
+    /// Every slot is overwritten; the plane layout must match `problem`.
+    pub fn accumulate_weighted_votes(&mut self, problem: &FusionProblem, trust: &TrustEstimate) {
+        debug_assert_eq!(self.num_items(), problem.num_items());
+        for (i, item) in problem.items().enumerate() {
+            let attr = item.attr();
+            let out = &mut self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+            for (slot, cand) in out.iter_mut().zip(item.candidates()) {
+                *slot = cand
+                    .providers()
+                    .iter()
+                    .map(|&s| trust.of(s as usize, attr))
+                    .sum();
+            }
+        }
+    }
+
+    /// Select, for every item, the candidate with the highest vote, writing
+    /// into `selection` (allocation reused). Ties go to the lower candidate
+    /// index (the better-supported bucket), which keeps the output
+    /// deterministic.
+    pub fn argmax_into(&self, selection: &mut Vec<usize>) {
+        selection.clear();
+        selection.extend(self.offsets.windows(2).map(|w| {
+            let item_votes = &self.values[w[0] as usize..w[1] as usize];
+            let mut best = 0usize;
+            let mut best_vote = f64::NEG_INFINITY;
+            for (i, &v) in item_votes.iter().enumerate() {
+                if v > best_vote + 1e-12 {
+                    best = i;
+                    best_vote = v;
+                }
+            }
+            best
+        }));
+    }
+}
+
+/// Select, for every item, the candidate with the highest vote (see
+/// [`VotePlane::argmax_into`]).
+pub fn argmax_selection(votes: &VotePlane) -> Vec<usize> {
+    let mut selection = Vec::new();
+    votes.argmax_into(&mut selection);
+    selection
+}
+
+/// In-place variant of [`argmax_selection`] for iterative methods that
+/// re-select every round: reuses `selection`'s allocation.
+pub fn argmax_selection_into(votes: &VotePlane, selection: &mut Vec<usize>) {
+    votes.argmax_into(selection);
+}
+
 /// The outcome of running one fusion method on one prepared snapshot.
 #[derive(Debug, Clone)]
 pub struct FusionResult {
     /// Name of the method that produced the result.
     pub method: String,
-    /// Selected value per data item.
+    /// Selected value per data item. Built **after** `elapsed` is captured,
+    /// so method timings measure fusion, not map construction.
     pub selected: BTreeMap<ItemId, Value>,
     /// Per-item selected candidate index (aligned with
     /// `FusionProblem::items`).
@@ -115,20 +331,25 @@ pub struct FusionResult {
     /// Number of iterative rounds executed.
     pub rounds: usize,
     /// Wall-clock execution time of the method (excluding problem
-    /// preparation).
+    /// preparation and excluding the construction of `selected`).
     pub elapsed: Duration,
 }
 
 impl FusionResult {
     /// Build a result from a per-item candidate selection.
+    ///
+    /// `started` is the instant the method began: the elapsed time is
+    /// captured *first*, then the item → value map is materialized, so the
+    /// Figure-12 timings never include map construction.
     pub fn from_selection(
         method: &str,
         problem: &FusionProblem,
         selection: Vec<usize>,
         trust: TrustEstimate,
         rounds: usize,
-        elapsed: Duration,
+        started: Instant,
     ) -> Self {
+        let elapsed = started.elapsed();
         let selected = problem.selection_to_values(&selection);
         Self {
             method: method.to_string(),
@@ -144,32 +365,6 @@ impl FusionResult {
     pub fn value_for(&self, item: ItemId) -> Option<&Value> {
         self.selected.get(&item)
     }
-}
-
-/// Select, for every item, the candidate with the highest vote. Ties go to the
-/// lower candidate index (the better-supported bucket), which keeps the
-/// output deterministic.
-pub fn argmax_selection(votes: &[Vec<f64>]) -> Vec<usize> {
-    let mut selection = Vec::new();
-    argmax_selection_into(votes, &mut selection);
-    selection
-}
-
-/// In-place variant of [`argmax_selection`] for iterative methods that
-/// re-select every round: reuses `selection`'s allocation.
-pub fn argmax_selection_into(votes: &[Vec<f64>], selection: &mut Vec<usize>) {
-    selection.clear();
-    selection.extend(votes.iter().map(|item_votes| {
-        let mut best = 0usize;
-        let mut best_vote = f64::NEG_INFINITY;
-        for (i, &v) in item_votes.iter().enumerate() {
-            if v > best_vote + 1e-12 {
-                best = i;
-                best_vote = v;
-            }
-        }
-        best
-    }));
 }
 
 /// Normalize a slice in place by its maximum (no-op when the maximum is not
@@ -215,7 +410,7 @@ mod tests {
     #[test]
     fn trust_estimate_lookup() {
         let mut t = TrustEstimate::uniform(2, 3, 0.8, true);
-        t.per_attr.as_mut().unwrap()[1][2] = 0.3;
+        t.per_attr.as_mut().unwrap().set(1, 2, 0.3);
         assert_eq!(t.of(0, 0), 0.8);
         assert_eq!(t.of(1, 2), 0.3);
         let flat = TrustEstimate::uniform(2, 3, 0.5, false);
@@ -224,10 +419,62 @@ mod tests {
     }
 
     #[test]
+    fn attr_trust_is_source_major() {
+        let mut pa = AttrTrust::filled(3, 2, 0.5);
+        assert_eq!(pa.num_sources(), 3);
+        assert_eq!(pa.num_attrs(), 2);
+        pa.set(2, 1, 0.9);
+        assert_eq!(pa.of(2, 1), 0.9);
+        assert_eq!(pa.row(2), &[0.5, 0.9]);
+        assert_eq!(pa.values()[2 * 2 + 1], 0.9);
+        pa.row_mut(0)[0] = 0.1;
+        assert_eq!(pa.of(0, 0), 0.1);
+    }
+
+    /// Regression pin: iterative convergence is defined on `overall` only.
+    /// The `*ATTR` variants must keep today's stopping behavior through any
+    /// per-attribute representation change — per-attribute cells that still
+    /// move between rounds do NOT keep the iteration alive.
+    #[test]
+    fn max_change_ignores_per_attribute_trust() {
+        let a = TrustEstimate {
+            overall: vec![0.5, 0.5],
+            per_attr: Some(AttrTrust::filled(2, 3, 0.1)),
+        };
+        let b = TrustEstimate {
+            overall: vec![0.5, 0.5],
+            per_attr: Some(AttrTrust::filled(2, 3, 0.9)),
+        };
+        assert_eq!(a.max_change(&b), 0.0, "per-attr changes must not count");
+        // And the overall vector alone decides the magnitude.
+        let c = TrustEstimate {
+            overall: vec![0.5, 0.75],
+            per_attr: None,
+        };
+        assert!((a.max_change(&c) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
     fn argmax_is_deterministic_on_ties() {
-        let votes = vec![vec![1.0, 1.0, 0.5], vec![0.1, 0.9]];
+        let votes = VotePlane::from_rows(&[vec![1.0, 1.0, 0.5], vec![0.1, 0.9]]);
         assert_eq!(argmax_selection(&votes), vec![0, 1]);
-        assert_eq!(argmax_selection(&[]), Vec::<usize>::new());
+        assert_eq!(
+            argmax_selection(&VotePlane::from_rows(&[])),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn vote_plane_layout() {
+        let mut plane = VotePlane::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert_eq!(plane.num_items(), 2);
+        assert_eq!(plane.num_candidates(), 3);
+        assert_eq!(plane.item(0), &[1.0, 2.0]);
+        assert_eq!(plane.get(1, 0), 3.0);
+        plane.item_mut(1)[0] = 4.0;
+        assert_eq!(plane.values(), &[1.0, 2.0, 4.0]);
+        plane.fill(0.0);
+        assert_eq!(plane.values(), &[0.0; 3]);
     }
 
     #[test]

@@ -93,6 +93,126 @@ proptest! {
         prop_assert!(datamodel::stddev(&xs) >= 0.0);
     }
 
+    /// The CSR layout of the prepared problem round-trips to exactly the
+    /// nested candidate lists the old representation held: for every item,
+    /// re-deriving candidates/providers/similarity/formatting links naively
+    /// from the snapshot matches what the flat offset/array views return,
+    /// and the per-source claim extents recount the providers.
+    #[test]
+    fn csr_problem_round_trips_to_nested_lists(
+        values in prop::collection::vec(10.0f64..1000.0, 2..25),
+        extra in prop::collection::vec(1.0f64..100.0, 0..10),
+    ) {
+        // Two attributes with uneven coverage so claim/provider extents vary.
+        let mut schema = DomainSchema::new("prop");
+        schema.add_attribute("x", datamodel::AttrKind::Numeric { scale: 100.0 }, false);
+        schema.add_attribute("y", datamodel::AttrKind::Numeric { scale: 10.0 }, false);
+        for i in 0..values.len() {
+            schema.add_source(format!("s{i}"), false);
+        }
+        let mut builder = SnapshotBuilder::new(0);
+        for (i, v) in values.iter().enumerate() {
+            builder.add(SourceId(i as u32), ObjectId((i % 3) as u32), AttrId(0), Value::number(*v));
+        }
+        for (i, v) in extra.iter().enumerate() {
+            builder.add(SourceId((i % values.len()) as u32), ObjectId(0), AttrId(1), Value::number(*v));
+        }
+        let snapshot = builder.build(std::sync::Arc::new(schema));
+        let problem = FusionProblem::from_snapshot(&snapshot);
+
+        let mut total_claims = 0usize;
+        for item in problem.items() {
+            // Naive nested reconstruction from the snapshot's buckets — the
+            // exact structure the pre-CSR `Candidate` vectors held.
+            let buckets = snapshot.buckets(item.id());
+            let scale = snapshot.tolerance().similarity_scale(item.id().attr);
+            prop_assert_eq!(item.num_candidates(), buckets.len());
+            prop_assert_eq!(item.attr(), item.id().attr.index());
+            let mut union: Vec<u32> = Vec::new();
+            for (c, bucket) in buckets.iter().enumerate() {
+                let cand = item.candidate(c);
+                prop_assert_eq!(cand.value(), &bucket.representative);
+                let naive_providers: Vec<u32> = bucket
+                    .providers
+                    .iter()
+                    .filter_map(|s| problem.source_index(*s).map(|i| i as u32))
+                    .collect();
+                prop_assert_eq!(cand.providers(), &naive_providers[..]);
+                union.extend_from_slice(&naive_providers);
+                // Similarity links: same pairs, same order, above the 0.05
+                // floor the problem documents.
+                let naive_similar: Vec<(u32, f64)> = buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != c)
+                    .map(|(j, other)| (j as u32, bucket.representative.similarity(&other.representative, scale)))
+                    .filter(|&(_, sim)| sim > 0.05)
+                    .collect();
+                prop_assert_eq!(cand.similar(), &naive_similar[..]);
+                let naive_coarse: Vec<u32> = buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, other)| j != c && other.representative.subsumes(&bucket.representative))
+                    .map(|(j, _)| j as u32)
+                    .collect();
+                prop_assert_eq!(cand.coarse_supporters(), &naive_coarse[..]);
+            }
+            union.sort_unstable();
+            union.dedup();
+            prop_assert_eq!(item.providers(), &union[..]);
+            let naive_slots: usize = (0..buckets.len())
+                .map(|c| item.candidate(c).providers().len())
+                .sum();
+            prop_assert_eq!(item.total_provider_slots(), naive_slots);
+            total_claims += naive_slots;
+        }
+        // Claim CSR: per-source extents re-count every (item, candidate,
+        // provider) slot exactly once, in item order.
+        prop_assert_eq!(problem.num_claims(), total_claims);
+        for (s, claims) in problem.claims_by_source().enumerate() {
+            let mut last_item = 0u32;
+            for &(i, c) in claims {
+                prop_assert!(i >= last_item, "claims of source {} not item-ordered", s);
+                last_item = i;
+                let providers = problem.item(i as usize).candidate(c as usize).providers();
+                prop_assert!(providers.contains(&(s as u32)));
+            }
+        }
+    }
+
+    /// The flat SoA per-attribute trust lookup matches the nested
+    /// `Vec<Vec<f64>>` semantics for every (source, attribute) pair.
+    #[test]
+    fn soa_trust_matches_nested_semantics(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 4..5), 1..12),
+    ) {
+        let num_sources = rows.len();
+        let num_attrs = rows[0].len();
+        let mut estimate = fusion::TrustEstimate::uniform(num_sources, num_attrs, 0.0, true);
+        let pa = estimate.per_attr.as_mut().unwrap();
+        for (s, row) in rows.iter().enumerate() {
+            for (a, &v) in row.iter().enumerate() {
+                pa.set(s, a, v);
+            }
+        }
+        // Nested reference: plain Vec<Vec<f64>> indexed [source][attr].
+        let nested: Vec<Vec<f64>> = rows.clone();
+        for (s, nested_row) in nested.iter().enumerate() {
+            prop_assert_eq!(estimate.per_attr.as_ref().unwrap().row(s), &nested_row[..]);
+            for (a, &expected) in nested_row.iter().enumerate() {
+                prop_assert_eq!(estimate.of(s, a), expected);
+                prop_assert_eq!(estimate.per_attr.as_ref().unwrap().of(s, a), expected);
+            }
+        }
+        // Overall lookups ignore the per-attr table only when it is absent.
+        let overall_only = fusion::TrustEstimate::uniform(num_sources, num_attrs, 0.7, false);
+        for s in 0..num_sources {
+            for a in 0..num_attrs {
+                prop_assert_eq!(overall_only.of(s, a), 0.7);
+            }
+        }
+    }
+
     /// Every fusion method selects, for every item, one of the values that
     /// was actually provided (no invented values), and its trust estimates
     /// are finite.
