@@ -17,10 +17,15 @@
 
 use bench::{ExpArgs, Json, Table};
 use datagen::GeneratedDomain;
-use evaluation::{evaluate_days_sequential, same_results, ParallelRunner};
+use evaluation::{evaluate_days_sequential, same_results, BatchRunner, ParallelRunner};
 use std::time::{Duration, Instant};
 
-fn report(domain: &GeneratedDomain) -> Json {
+// Count every heap allocation so the `--batch` mode can report how much
+// allocation traffic the warm-arena runner removes (profiling::alloc).
+#[global_allocator]
+static ALLOC: profiling::CountingAllocator = profiling::CountingAllocator::new();
+
+fn report(domain: &GeneratedDomain, batch_mode: bool) -> Json {
     // Evaluate the reference day plus the surrounding days (up to three) in
     // one batch, so the timing summary reflects a realistic multi-snapshot
     // evaluation workload.
@@ -36,11 +41,15 @@ fn report(domain: &GeneratedDomain) -> Json {
     // the fan-out's favor.
     let _ = evaluate_days_sequential(&domain.collection, &day_indices[..1], false);
 
+    let allocs_before_sequential = profiling::allocation_count();
     let sequential_start = Instant::now();
     let sequential = evaluate_days_sequential(&domain.collection, &day_indices, false);
     let sequential_wall = sequential_start.elapsed();
+    let sequential_allocs = profiling::allocation_count() - allocs_before_sequential;
 
+    let allocs_before_parallel = profiling::allocation_count();
     let evaluation = ParallelRunner::new().evaluate_days(&domain.collection, &day_indices);
+    let parallel_allocs = profiling::allocation_count() - allocs_before_parallel;
     for (seq_day, par_day) in sequential.iter().zip(&evaluation.days) {
         assert!(
             same_results(&seq_day.rows, &par_day.rows),
@@ -108,6 +117,48 @@ fn report(domain: &GeneratedDomain) -> Json {
                 .unwrap_or_default()
         );
     }
+
+    // --batch: the same day selection through the sharded warm-arena
+    // runner, checked bit-identical and reported wall-vs-wall with the
+    // heap-allocation traffic of each pass.
+    let mut batch_json: Option<Json> = None;
+    if batch_mode {
+        let allocs_before_batch = profiling::allocation_count();
+        let batch = BatchRunner::new().evaluate_days(&domain.collection, &day_indices);
+        let batch_allocs = profiling::allocation_count() - allocs_before_batch;
+        for (seq_day, batch_day) in sequential.iter().zip(&batch.days) {
+            assert!(
+                same_results(&seq_day.rows, &batch_day.rows),
+                "batch rows diverged from sequential rows on day {}",
+                seq_day.day
+            );
+        }
+        let wall = batch.wall_clock.as_secs_f64();
+        println!(
+            "Batch: {} days on {} warm shard(s); wall-clock {:.2} s \
+             ({:.2}x vs parallel, {:.2}x vs sequential)",
+            batch.days.len(),
+            batch.num_shards,
+            wall,
+            evaluation.wall_clock.as_secs_f64() / wall.max(f64::MIN_POSITIVE),
+            sequential_wall.as_secs_f64() / wall.max(f64::MIN_POSITIVE),
+        );
+        println!(
+            "Allocations: sequential {sequential_allocs}, parallel {parallel_allocs}, \
+             batch {batch_allocs} ({:.1}% of parallel)",
+            100.0 * batch_allocs as f64 / (parallel_allocs as f64).max(1.0),
+        );
+        batch_json = Some(
+            Json::object()
+                .field("batch_wall_s", Json::Number(wall))
+                .field("batch_shards", Json::int(batch.num_shards))
+                .field("batch_allocations", Json::int(batch_allocs as usize))
+                .field(
+                    "parallel_allocations",
+                    Json::int(parallel_allocs as usize),
+                ),
+        );
+    }
     println!();
 
     // Machine-readable record for the perf trajectory (BENCH_fig12.json):
@@ -125,7 +176,7 @@ fn report(domain: &GeneratedDomain) -> Json {
             })
             .collect(),
     );
-    Json::object()
+    let mut doc = Json::object()
         .field("domain", Json::string(&domain.config.domain))
         .field("num_items", Json::int(day.snapshot.num_items()))
         .field("num_sources", Json::int(day.snapshot.active_sources().len()))
@@ -137,14 +188,28 @@ fn report(domain: &GeneratedDomain) -> Json {
         )
         .field("fanout_speedup", Json::Number(measured_speedup))
         .field("threads", Json::int(evaluation.threads))
-        .field("methods", methods)
+        .field("methods", methods);
+    if let Some(batch) = batch_json {
+        doc = doc.field("batch", batch);
+    }
+    doc
 }
 
 fn main() {
     let args = ExpArgs::from_env();
+    // The regression gate fails closed, and before any expensive work: a
+    // typo'd threshold must not let CI pass (or waste a run) silently.
+    if args.fail_on_regression_invalid {
+        eprintln!("FAIL: --fail-on-regression requires a finite numeric PCT (e.g. 25)");
+        std::process::exit(1);
+    }
+    if args.fail_on_regression.is_some() && args.compare.is_none() {
+        eprintln!("FAIL: --fail-on-regression requires --compare FILE");
+        std::process::exit(1);
+    }
     let (stock, flight) = args.both_domains("Figure 12");
-    let stock_json = report(&stock);
-    let flight_json = report(&flight);
+    let stock_json = report(&stock, args.batch);
+    let flight_json = report(&flight, args.batch);
     println!("Paper: VOTE finishes in under a second, most methods within 1-10 s, the ATTR");
     println!("       variants in 100-250 s, and AccuCopy in 855 s on Stock; longer execution");
     println!("       time does not guarantee better results.");
@@ -180,12 +245,40 @@ fn main() {
         Err(e) => eprintln!("\nCould not write {out_path}: {e}"),
     }
 
-    // Perf trajectory: diff this run against the checked-in baseline.
+    // Perf trajectory: diff this run against the checked-in baseline. With
+    // --fail-on-regression PCT the diff becomes a gate: any per-method
+    // slowdown beyond PCT percent (or an unusable baseline) exits non-zero
+    // instead of succeeding silently.
     if let Some((baseline_path, result)) = baseline {
         println!();
         match result {
-            Ok(baseline) => bench::print_fig12_comparison(&baseline, &doc),
-            Err(e) => eprintln!("Could not load baseline {baseline_path}: {e}"),
+            Ok(baseline) => {
+                bench::print_fig12_comparison(&baseline, &doc);
+                if let Some(pct) = args.fail_on_regression {
+                    if !bench::same_scale(&baseline, &doc) {
+                        eprintln!(
+                            "FAIL: --fail-on-regression cannot be evaluated: baseline \
+                             {baseline_path} uses different --seed/--scale/--days"
+                        );
+                        std::process::exit(1);
+                    }
+                    let regressions = bench::fig12_regressions(&baseline, &doc, pct);
+                    if !regressions.is_empty() {
+                        eprintln!(
+                            "FAIL: {} per-method regression(s) beyond {pct}% vs {baseline_path}",
+                            regressions.len()
+                        );
+                        std::process::exit(1);
+                    }
+                    println!("No per-method regressions beyond {pct}% — gate passed.");
+                }
+            }
+            Err(e) => {
+                eprintln!("Could not load baseline {baseline_path}: {e}");
+                if args.fail_on_regression.is_some() {
+                    std::process::exit(1);
+                }
+            }
         }
     }
 }

@@ -116,6 +116,25 @@ pub fn same_scale(baseline: &Json, fresh: &Json) -> bool {
     })
 }
 
+/// Speedup floor below which a timing counts as regressed by more than
+/// `threshold_pct` percent (e.g. 5.0 → everything slower than 1.05× the
+/// baseline time).
+fn regression_floor(threshold_pct: f64) -> f64 {
+    1.0 / (1.0 + threshold_pct.max(0.0) / 100.0)
+}
+
+/// The (domain, method) timings of `fresh` that regressed by more than
+/// `threshold_pct` percent against `baseline`. This is the decision
+/// procedure behind `exp_fig12_efficiency --fail-on-regression PCT`: the
+/// caller exits non-zero when the result is non-empty.
+pub fn fig12_regressions(baseline: &Json, fresh: &Json, threshold_pct: f64) -> Vec<Fig12Delta> {
+    let floor = regression_floor(threshold_pct);
+    fig12_deltas(baseline, fresh)
+        .into_iter()
+        .filter(|d| d.speedup() < floor)
+        .collect()
+}
+
 /// Render the per-method speedup table plus per-domain totals.
 pub fn print_fig12_comparison(baseline: &Json, fresh: &Json) {
     if !same_scale(baseline, fresh) {
@@ -170,7 +189,8 @@ pub fn print_fig12_comparison(baseline: &Json, fresh: &Json) {
         ]);
     }
     table.print();
-    let regressions: Vec<&Fig12Delta> = deltas.iter().filter(|d| d.speedup() < 0.95).collect();
+    let floor = regression_floor(5.0);
+    let regressions: Vec<&Fig12Delta> = deltas.iter().filter(|d| d.speedup() < floor).collect();
     if regressions.is_empty() {
         println!("No per-method regressions beyond the 5% noise floor.");
     } else {
@@ -229,6 +249,27 @@ mod tests {
         assert!(!same_scale(&baseline, &fresh));
         let deltas = fig12_deltas(&baseline, &fresh);
         assert!(!deltas[0].same_result());
+    }
+
+    #[test]
+    fn regressions_respect_the_threshold() {
+        let baseline = artifact(0.25, 0.010, 0.9);
+        // 30% slower than baseline.
+        let slower = artifact(0.25, 0.013, 0.9);
+        // Below a 50% threshold nothing is flagged; above 20% it is.
+        assert!(fig12_regressions(&baseline, &slower, 50.0).is_empty());
+        let flagged = fig12_regressions(&baseline, &slower, 20.0);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].method, "Vote");
+        assert!(flagged[0].speedup() < 1.0);
+        // Just inside the threshold (19% slower at a 20% gate) passes.
+        let just_inside = artifact(0.25, 0.0119, 0.9);
+        assert!(fig12_regressions(&baseline, &just_inside, 20.0).is_empty());
+        // A faster fresh run is never a regression, whatever the threshold.
+        let faster = artifact(0.25, 0.005, 0.9);
+        assert!(fig12_regressions(&baseline, &faster, 0.0).is_empty());
+        // A negative threshold behaves like zero tolerance.
+        assert_eq!(fig12_regressions(&baseline, &slower, -3.0).len(), 1);
     }
 
     #[test]

@@ -9,7 +9,9 @@ pub mod json;
 pub mod report;
 pub mod setup;
 
-pub use compare::{fig12_deltas, print_fig12_comparison, Fig12Delta};
+pub use compare::{
+    fig12_deltas, fig12_regressions, print_fig12_comparison, same_scale, Fig12Delta,
+};
 pub use json::Json;
 pub use report::{format_percent, Table};
 pub use setup::{vs_paper, ExpArgs};

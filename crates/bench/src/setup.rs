@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! exp_<name> [--scale S] [--days D] [--seed N] [--compare FILE]
+//!            [--batch] [--fail-on-regression PCT]
 //! ```
 //!
 //! * `--scale` multiplies the number of objects (default 0.25 — a quarter of
@@ -14,7 +15,15 @@
 //! * `--seed`  master seed (default 2012, the paper's publication year);
 //! * `--compare` (only meaningful to `exp_fig12_efficiency`) diffs the fresh
 //!   run against a checked-in `BENCH_fig12.json` trajectory point and prints
-//!   per-method speedup/regression.
+//!   per-method speedup/regression;
+//! * `--batch` (read by `exp_fig8_accuracy` and `exp_fig12_efficiency`)
+//!   additionally runs the sharded warm-arena `BatchRunner` on the same
+//!   day selection, asserts its rows equal the sequential/parallel passes,
+//!   and reports wall-vs-wall speedup plus heap-allocation counts;
+//! * `--fail-on-regression PCT` (with `--compare`) exits with a non-zero
+//!   status when any per-method timing regressed by more than `PCT` percent
+//!   against the baseline artifact — the CI-facing form of the trajectory
+//!   diff, which otherwise only prints.
 
 use datagen::{flight_config, generate, stock_config, GeneratedDomain};
 
@@ -30,6 +39,16 @@ pub struct ExpArgs {
     /// Baseline artifact to diff a fresh run against
     /// (`exp_fig12_efficiency --compare BENCH_fig12.json`).
     pub compare: Option<String>,
+    /// Also run the sharded warm-arena batch runner and report its
+    /// wall-vs-wall speedup and allocation counts (`--batch`).
+    pub batch: bool,
+    /// With `--compare`: exit non-zero when any per-method timing regressed
+    /// by more than this many percent (`--fail-on-regression PCT`).
+    pub fail_on_regression: Option<f64>,
+    /// `--fail-on-regression` was passed with a missing or unparseable PCT.
+    /// The gate binaries must treat this as a hard error (fail **closed**) —
+    /// silently skipping a CI gate on an operator typo defeats its purpose.
+    pub fail_on_regression_invalid: bool,
 }
 
 impl Default for ExpArgs {
@@ -39,6 +58,9 @@ impl Default for ExpArgs {
             days: 0.25,
             seed: 2012,
             compare: None,
+            batch: false,
+            fail_on_regression: None,
+            fail_on_regression_invalid: false,
         }
     }
 }
@@ -46,8 +68,14 @@ impl Default for ExpArgs {
 impl ExpArgs {
     /// Parse from `std::env::args()` (unknown arguments are ignored).
     pub fn from_env() -> Self {
-        let mut parsed = Self::default();
         let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args)
+    }
+
+    /// Parse from an explicit argument vector (index 0 is the program name,
+    /// as in `std::env::args()`); unknown arguments are ignored.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut parsed = Self::default();
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -69,11 +97,31 @@ impl ExpArgs {
                     }
                     i += 1;
                 }
-                "--compare" => {
-                    if let Some(v) = args.get(i + 1) {
+                "--compare" => match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
                         parsed.compare = Some(v.clone());
+                        i += 1;
                     }
-                    i += 1;
+                    // Missing or flag-like value: leave the baseline unset
+                    // and do NOT swallow the following flag (the
+                    // --fail-on-regression gate then fails closed on the
+                    // absent --compare).
+                    _ => {}
+                },
+                "--batch" => {
+                    parsed.batch = true;
+                }
+                "--fail-on-regression" => {
+                    match args.get(i + 1).map(|s| s.parse::<f64>()) {
+                        Some(Ok(v)) if v.is_finite() => {
+                            parsed.fail_on_regression = Some(v);
+                            i += 1;
+                        }
+                        // Missing or malformed PCT: record the error and do
+                        // NOT consume the next token, so a following flag
+                        // (e.g. `--batch`) still applies.
+                        _ => parsed.fail_on_regression_invalid = true,
+                    }
                 }
                 _ => {}
             }
@@ -123,5 +171,71 @@ mod tests {
     #[test]
     fn vs_paper_formats_three_decimals() {
         assert_eq!(vs_paper(0.9081, 0.908), ("0.908".into(), "0.908".into()));
+    }
+
+    fn args_of(parts: &[&str]) -> Vec<String> {
+        std::iter::once("exp_test")
+            .chain(parts.iter().copied())
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn batch_and_regression_flags_parse() {
+        let parsed = ExpArgs::from_args(&args_of(&[
+            "--batch",
+            "--fail-on-regression",
+            "7.5",
+            "--scale",
+            "0.5",
+        ]));
+        assert!(parsed.batch);
+        assert_eq!(parsed.fail_on_regression, Some(7.5));
+        assert_eq!(parsed.scale, 0.5);
+
+        let defaults = ExpArgs::from_args(&args_of(&[]));
+        assert!(!defaults.batch);
+        assert_eq!(defaults.fail_on_regression, None);
+        assert!(!defaults.fail_on_regression_invalid);
+    }
+
+    /// The regression gate must fail **closed**: a malformed or missing PCT
+    /// is flagged as invalid (the gate binaries exit non-zero on it), and
+    /// the bad token is not swallowed — a following flag still applies.
+    #[test]
+    fn malformed_regression_threshold_is_flagged_not_ignored() {
+        let bad = ExpArgs::from_args(&args_of(&["--fail-on-regression", "5%"]));
+        assert_eq!(bad.fail_on_regression, None);
+        assert!(bad.fail_on_regression_invalid);
+
+        // The next flag is not consumed as the PCT value.
+        let chained = ExpArgs::from_args(&args_of(&["--fail-on-regression", "--batch"]));
+        assert_eq!(chained.fail_on_regression, None);
+        assert!(chained.fail_on_regression_invalid);
+        assert!(chained.batch, "--batch must survive the malformed gate flag");
+
+        // Trailing flag with no value at all.
+        let missing = ExpArgs::from_args(&args_of(&["--fail-on-regression"]));
+        assert!(missing.fail_on_regression_invalid);
+
+        // Non-finite thresholds are rejected too.
+        let nan = ExpArgs::from_args(&args_of(&["--fail-on-regression", "NaN"]));
+        assert_eq!(nan.fail_on_regression, None);
+        assert!(nan.fail_on_regression_invalid);
+    }
+
+    /// `--compare` must not swallow a following flag as its file path.
+    #[test]
+    fn compare_never_consumes_a_following_flag() {
+        let chained = ExpArgs::from_args(&args_of(&["--compare", "--batch"]));
+        assert_eq!(chained.compare, None);
+        assert!(chained.batch, "--batch must survive the valueless --compare");
+
+        let ok = ExpArgs::from_args(&args_of(&["--compare", "BENCH_fig12.json", "--batch"]));
+        assert_eq!(ok.compare.as_deref(), Some("BENCH_fig12.json"));
+        assert!(ok.batch);
+
+        let trailing = ExpArgs::from_args(&args_of(&["--compare"]));
+        assert_eq!(trailing.compare, None);
     }
 }

@@ -11,8 +11,10 @@
 //! fusion method operates on these buckets rather than on raw values.
 
 use crate::ids::{AttrId, SourceId};
+use crate::snapshot::Observation;
 use crate::tolerance::ToleranceContext;
 use crate::value::{Value, ValueKind};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A group of tolerance-equivalent values on one data item, together with the
@@ -199,11 +201,292 @@ fn bucket_representative(members: &[(SourceId, f64, &Value)]) -> Value {
 }
 
 fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
     match (a.as_f64(), b.as_f64()) {
         (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
         _ => a.to_string().cmp(&b.to_string()),
     }
+}
+
+/// Reusable scratch for bucketing a *stream* of data items without per-item
+/// allocation.
+///
+/// [`Bucketing::bucket`] (and [`crate::Snapshot::buckets`] on top of it)
+/// allocates a dozen-plus temporaries per item — on a paper-scale snapshot
+/// that is ~150k allocations per preparation, the dominant allocation
+/// traffic of the whole evaluation pipeline. A `Bucketer` owns all of those
+/// temporaries plus a recycling pool for the output buckets' provider
+/// vectors, so the warm-arena preparation path
+/// (`fusion::ProblemBuilder::prepare`) re-buckets day after day with
+/// near-zero steady-state allocation.
+///
+/// The output of [`bucket_into`](Self::bucket_into) is **identical** to
+/// [`Bucketing::bucket`] on the same observations — same grouping, same
+/// representatives (including first-seen tie-breaks), same ordering — which
+/// a property test pins against random inputs.
+#[derive(Debug, Default)]
+pub struct Bucketer {
+    /// `(source, raw value, observation index)` of the numeric observations,
+    /// in observation order.
+    numeric: Vec<(SourceId, f64, u32)>,
+    /// Distinct raw values with counts and first-occurrence observation
+    /// index, in first-seen order (anchor and representative elections).
+    counts: Vec<(f64, usize, u32)>,
+    /// Scratch for medians (sorted copy of the finite values).
+    sorted: Vec<f64>,
+    /// Raw values feeding a median.
+    raw: Vec<f64>,
+    /// First-seen distinct group keys (bucket-grid indices).
+    group_keys: Vec<i64>,
+    /// First-seen distinct exact values (zero-tolerance grouping).
+    group_vals: Vec<f64>,
+    /// Group index per numeric entry / per observation (text path).
+    group_of: Vec<u32>,
+    /// Observation index of each text group's first member.
+    text_firsts: Vec<u32>,
+    /// Recycled provider vectors.
+    pool: Vec<Vec<SourceId>>,
+}
+
+impl Bucketer {
+    /// An empty bucketer; buffers grow to the widest item seen and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Group the observations of one data item into `out` (cleared first,
+    /// its buckets' provider vectors recycled), producing exactly what
+    /// [`Bucketing::bucket`] produces for the same `(source, value)` pairs:
+    /// buckets sorted by descending support with deterministic ties,
+    /// providers ascending.
+    pub fn bucket_into(
+        &mut self,
+        cfg: &Bucketing,
+        observations: &[Observation],
+        out: &mut Vec<ValueBucket>,
+    ) {
+        for bucket in out.drain(..) {
+            let mut providers = bucket.providers;
+            providers.clear();
+            self.pool.push(providers);
+        }
+        if observations.is_empty() {
+            return;
+        }
+        match observations[0].value.kind() {
+            ValueKind::Text => self.bucket_text_into(observations, out),
+            ValueKind::Number | ValueKind::Time => self.bucket_numeric_into(cfg, observations, out),
+        }
+        for b in out.iter_mut() {
+            b.providers.sort_unstable();
+        }
+        out.sort_by(|a, b| {
+            b.support()
+                .cmp(&a.support())
+                .then_with(|| compare_values(&a.representative, &b.representative))
+        });
+    }
+
+    fn bucket_numeric_into(
+        &mut self,
+        cfg: &Bucketing,
+        observations: &[Observation],
+        out: &mut Vec<ValueBucket>,
+    ) {
+        self.numeric.clear();
+        for (i, o) in observations.iter().enumerate() {
+            if let Some(x) = o.value.as_f64() {
+                self.numeric.push((o.source, x, i as u32));
+            }
+        }
+        if self.numeric.is_empty() {
+            return;
+        }
+
+        self.group_of.clear();
+        if cfg.tolerance <= 0.0 {
+            // Exact grouping on the raw numeric value, first-seen order; the
+            // representative is the first member's value.
+            self.group_vals.clear();
+            for &(_, x, _) in &self.numeric {
+                let g = match self.group_vals.iter().position(|v| *v == x) {
+                    Some(g) => g,
+                    None => {
+                        self.group_vals.push(x);
+                        self.group_vals.len() - 1
+                    }
+                };
+                self.group_of.push(g as u32);
+            }
+            for g in 0..self.group_vals.len() {
+                let mut providers = self.pool.pop().unwrap_or_default();
+                let mut first: Option<u32> = None;
+                for (&(source, _, idx), &gi) in self.numeric.iter().zip(&self.group_of) {
+                    if gi as usize == g {
+                        first.get_or_insert(idx);
+                        providers.push(source);
+                    }
+                }
+                out.push(ValueBucket {
+                    representative: observations[first.expect("non-empty group") as usize]
+                        .value
+                        .clone(),
+                    providers,
+                });
+            }
+            return;
+        }
+
+        // Anchor election (dominant_raw_value): distinct-value counts in
+        // first-seen order, winner by count, then proximity to the median,
+        // then the smaller value.
+        self.raw.clear();
+        self.raw.extend(self.numeric.iter().map(|&(_, x, _)| x));
+        let med = median_into(&mut self.sorted, &self.raw);
+        self.counts.clear();
+        for &(_, x, _) in &self.numeric {
+            match self.counts.iter_mut().find(|(v, _, _)| *v == x) {
+                Some((_, c, _)) => *c += 1,
+                None => self.counts.push((x, 1, 0)),
+            }
+        }
+        let anchor = self.counts[max_count_index(&self.counts, med)].0;
+
+        // Bucket index k = round((v - anchor) / τ), groups in first-seen
+        // order (members stay in observation order within each group).
+        self.group_keys.clear();
+        for &(_, x, _) in &self.numeric {
+            let k = ((x - anchor) / cfg.tolerance).round() as i64;
+            let g = match self.group_keys.iter().position(|key| *key == k) {
+                Some(g) => g,
+                None => {
+                    self.group_keys.push(k);
+                    self.group_keys.len() - 1
+                }
+            };
+            self.group_of.push(g as u32);
+        }
+
+        for g in 0..self.group_keys.len() {
+            // Representative election (bucket_representative): most frequent
+            // exact value of the group, ties by proximity to the group
+            // median then the smaller value; the first member providing the
+            // winning value is cloned.
+            self.raw.clear();
+            for (&(_, x, _), &gi) in self.numeric.iter().zip(&self.group_of) {
+                if gi as usize == g {
+                    self.raw.push(x);
+                }
+            }
+            let group_med = median_into(&mut self.sorted, &self.raw);
+            self.counts.clear();
+            for (&(_, x, idx), &gi) in self.numeric.iter().zip(&self.group_of) {
+                if gi as usize == g {
+                    match self.counts.iter_mut().find(|(v, _, _)| *v == x) {
+                        Some((_, c, _)) => *c += 1,
+                        None => self.counts.push((x, 1, idx)),
+                    }
+                }
+            }
+            let representative_obs = self.counts[max_count_index(&self.counts, group_med)].2;
+
+            let mut providers = self.pool.pop().unwrap_or_default();
+            for (&(source, _, _), &gi) in self.numeric.iter().zip(&self.group_of) {
+                if gi as usize == g {
+                    providers.push(source);
+                }
+            }
+            out.push(ValueBucket {
+                representative: observations[representative_obs as usize].value.clone(),
+                providers,
+            });
+        }
+    }
+
+    fn bucket_text_into(&mut self, observations: &[Observation], out: &mut Vec<ValueBucket>) {
+        // Group by the exact key string the map-based path uses (the text
+        // itself, or the display form for non-text values mixed into a text
+        // item), first-seen order; the caller's final sort normalizes the
+        // bucket order exactly like the map-based path.
+        self.group_of.clear();
+        self.text_firsts.clear();
+        for (i, o) in observations.iter().enumerate() {
+            let g = self
+                .text_firsts
+                .iter()
+                .position(|&f| text_key_eq(&observations[f as usize].value, &o.value));
+            match g {
+                Some(g) => self.group_of.push(g as u32),
+                None => {
+                    self.text_firsts.push(i as u32);
+                    self.group_of.push((self.text_firsts.len() - 1) as u32);
+                }
+            }
+        }
+        for (g, &first) in self.text_firsts.iter().enumerate() {
+            let mut providers = self.pool.pop().unwrap_or_default();
+            for (i, &gi) in self.group_of.iter().enumerate() {
+                if gi as usize == g {
+                    providers.push(observations[i].source);
+                }
+            }
+            out.push(ValueBucket {
+                representative: observations[first as usize].value.clone(),
+                providers,
+            });
+        }
+    }
+}
+
+/// Whether two values share the text-path grouping key (`Value::Text`
+/// contents, display form otherwise) without materializing the key strings
+/// for the all-text common case.
+fn text_key_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Text(x), Value::Text(y)) => x == y,
+        _ => a.to_string() == b.to_string(),
+    }
+}
+
+/// [`crate::stats::median`] into a reusable sort buffer: same filtering of
+/// non-finite values, same even/odd behavior, no allocation once warm.
+fn median_into(sorted: &mut Vec<f64>, xs: &[f64]) -> f64 {
+    sorted.clear();
+    sorted.extend(xs.iter().copied().filter(|x| x.is_finite()));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // Plain f64s: an unstable sort yields the same sorted array as the
+    // stable sort `stats::median` uses, hence the same median.
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Index of the winning `(value, count, _)` entry under the election
+/// comparator shared by `dominant_raw_value` and `bucket_representative`:
+/// highest count, ties to the value closest to `med`, then to the smaller
+/// value — replicating `Iterator::max_by` (the *last* maximal element wins).
+fn max_count_index(counts: &[(f64, usize, u32)], med: f64) -> usize {
+    let mut best = 0usize;
+    for candidate in 1..counts.len() {
+        let (va, ca, _) = counts[best];
+        let (vb, cb, _) = counts[candidate];
+        let da = (va - med).abs();
+        let db = (vb - med).abs();
+        let ord = ca
+            .cmp(&cb)
+            .then_with(|| db.partial_cmp(&da).unwrap_or(Ordering::Equal))
+            .then_with(|| vb.partial_cmp(&va).unwrap_or(Ordering::Equal));
+        if ord != Ordering::Greater {
+            best = candidate;
+        }
+    }
+    best
 }
 
 /// Convenience wrapper: bucket the observations of one data item of attribute
@@ -328,6 +611,77 @@ mod tests {
         );
         assert_eq!(buckets.len(), 1);
         assert_eq!(buckets[0].support(), 2);
+    }
+
+    fn observations_of(pairs: &[(SourceId, Value)]) -> Vec<Observation> {
+        pairs
+            .iter()
+            .map(|(source, value)| Observation {
+                source: *source,
+                value: value.clone(),
+            })
+            .collect()
+    }
+
+    /// One warm bucketer, fed wildly different item shapes back to back,
+    /// must reproduce `Bucketing::bucket` exactly on every one — the
+    /// invariant the warm-arena preparation path rests on.
+    #[test]
+    fn bucketer_reuse_matches_one_shot_bucketing() {
+        let numeric_cfg = Bucketing {
+            tolerance: 1.0,
+            similarity_scale: 100.0,
+        };
+        let zero_tol = Bucketing {
+            tolerance: 0.0,
+            similarity_scale: 1.0,
+        };
+        let items: Vec<(Bucketing, Vec<(SourceId, Value)>)> = vec![
+            (numeric_cfg, obs(&[100.0, 100.4, 99.8, 105.0])),
+            (numeric_cfg, vec![]),
+            (zero_tol, obs(&[1.0, 1.0, 1.000001, 2.0])),
+            (
+                zero_tol,
+                vec![
+                    (SourceId(0), Value::text("B12")),
+                    (SourceId(1), Value::text("b12")),
+                    (SourceId(2), Value::text("C3")),
+                ],
+            ),
+            (
+                numeric_cfg,
+                vec![
+                    (SourceId(0), Value::time(600)),
+                    (SourceId(1), Value::time(604)),
+                    (SourceId(2), Value::time(630)),
+                ],
+            ),
+            // Rounded values whose representative election must pick the
+            // first-seen member of the winning exact value.
+            (
+                numeric_cfg,
+                vec![
+                    (SourceId(0), Value::rounded_number(8.0, 1.0)),
+                    (SourceId(1), Value::number(8.0)),
+                    (SourceId(2), Value::number(8.0)),
+                ],
+            ),
+            (numeric_cfg, obs(&[10.0, 10.0, 20.0, 20.0])),
+            (numeric_cfg, obs(&[42.0])),
+        ];
+
+        let mut bucketer = Bucketer::new();
+        let mut out = Vec::new();
+        for (cfg, pairs) in &items {
+            let expected = cfg.bucket(pairs);
+            bucketer.bucket_into(cfg, &observations_of(pairs), &mut out);
+            assert_eq!(out, expected, "warm bucketer diverged on {pairs:?}");
+        }
+        // And a second sweep over the same items (fully warm buffers).
+        for (cfg, pairs) in &items {
+            bucketer.bucket_into(cfg, &observations_of(pairs), &mut out);
+            assert_eq!(out, cfg.bucket(pairs));
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod stats;
 pub mod tolerance;
 pub mod value;
 
-pub use bucket::{bucket_values, Bucketing, ValueBucket};
+pub use bucket::{bucket_values, Bucketer, Bucketing, ValueBucket};
 pub use csv::{write_snapshot, CsvError, CsvReader};
 pub use collection::{Collection, CollectionDay};
 pub use gold::GoldStandard;

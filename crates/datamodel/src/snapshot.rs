@@ -207,6 +207,20 @@ impl Snapshot {
         Bucketing::for_attr(&self.tolerance, item.attr).bucket(&pairs)
     }
 
+    /// [`Self::buckets`] into caller-provided storage: identical buckets,
+    /// with every temporary drawn from `bucketer` and the output (including
+    /// its provider vectors) recycled through `out` — the allocation-free
+    /// form the warm-arena preparation path uses on every item of every day.
+    pub fn buckets_into(
+        &self,
+        item: ItemId,
+        bucketer: &mut crate::bucket::Bucketer,
+        out: &mut Vec<ValueBucket>,
+    ) {
+        let cfg = Bucketing::for_attr(&self.tolerance, item.attr);
+        bucketer.bucket_into(&cfg, self.observations(item), out);
+    }
+
     /// A new snapshot containing only observations from `sources`.
     ///
     /// Used by the incremental-source experiments of Figure 9. Tolerances are

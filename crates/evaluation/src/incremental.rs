@@ -7,10 +7,11 @@
 //! for Stock and the 9th for Flight); adding the remaining sources only
 //! hurts.
 
+use crate::batch::ShardArena;
 use crate::metrics::precision_recall;
 use crate::runner::EvaluationContext;
 use datamodel::{GoldStandard, Snapshot, SourceId};
-use fusion::{method_by_name, FusionOptions, FusionProblem};
+use fusion::{method_by_name, FusionOptions};
 use serde::Serialize;
 
 /// Recall after adding the first `num_sources` sources.
@@ -78,6 +79,12 @@ pub fn sources_by_recall(snapshot: &Snapshot, gold: &GoldStandard) -> Vec<Source
 /// many sources are added between measurements (1 reproduces the paper's
 /// per-source curve; larger steps keep the experiment fast on full-scale
 /// data).
+///
+/// The prefix problems ride on one warm [`ShardArena`]: each source prefix
+/// re-fills the arena's problem in place and every method runs against it
+/// with the arena's reused scratch, so the experiment no longer holds all
+/// prefix problems in memory at once (nor re-allocates per prefix). Unknown
+/// method names are skipped, as before.
 pub fn incremental_recall(
     context: &EvaluationContext<'_>,
     methods: &[&str],
@@ -85,39 +92,37 @@ pub fn incremental_recall(
 ) -> Vec<IncrementalSeries> {
     let order = sources_by_recall(context.snapshot, context.gold);
     let step = step.max(1);
-    // Pre-build the restricted problems (shared across methods).
-    let mut prefixes: Vec<(usize, FusionProblem)> = Vec::new();
+    let resolved: Vec<_> = methods
+        .iter()
+        .filter_map(|name| method_by_name(name))
+        .collect();
+    let mut series: Vec<IncrementalSeries> = resolved
+        .iter()
+        .map(|method| IncrementalSeries {
+            method: method.name(),
+            points: Vec::new(),
+        })
+        .collect();
+
+    let mut arena = ShardArena::new();
     let mut k = 1;
     while k <= order.len() {
         let restricted = context.snapshot.restrict_to_sources(&order[..k]);
-        prefixes.push((k, FusionProblem::from_snapshot(&restricted)));
+        arena.prepare(&restricted);
+        for (method, series) in resolved.iter().zip(series.iter_mut()) {
+            let result = arena.run(method.as_ref(), &FusionOptions::standard());
+            let pr = precision_recall(context.snapshot, context.gold, &result);
+            series.points.push(IncrementalPoint {
+                num_sources: k,
+                recall: pr.recall,
+            });
+        }
         if k == order.len() {
             break;
         }
         k = (k + step).min(order.len());
     }
-
-    methods
-        .iter()
-        .filter_map(|name| {
-            let method = method_by_name(name)?;
-            let points = prefixes
-                .iter()
-                .map(|(num_sources, problem)| {
-                    let result = method.run(problem, &FusionOptions::standard());
-                    let pr = precision_recall(context.snapshot, context.gold, &result);
-                    IncrementalPoint {
-                        num_sources: *num_sources,
-                        recall: pr.recall,
-                    }
-                })
-                .collect();
-            Some(IncrementalSeries {
-                method: method.name(),
-                points,
-            })
-        })
-        .collect()
+    series
 }
 
 #[cfg(test)]

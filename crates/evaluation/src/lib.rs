@@ -11,10 +11,14 @@
 //! * [`parallel`] — the multi-core runner fanning all sixteen methods ×
 //!   any number of snapshot days across CPU cores (Figure 12's efficiency
 //!   story at to-day's core counts);
+//! * [`batch`] — the sharded batch runner: contiguous day shards, one warm
+//!   [`ShardArena`] (in-place CSR refills + reused fusion scratch) per
+//!   shard, rows bit-identical to the sequential runner;
 //! * [`breakdown`] — precision vs. dominance factor (Figure 10);
 //! * [`errors`] — error analysis of a method's mistakes (Figure 11);
 //! * [`over_time`] — precision over all collection days (Table 9).
 
+pub mod batch;
 pub mod breakdown;
 pub mod compare;
 pub mod errors;
@@ -24,6 +28,7 @@ pub mod over_time;
 pub mod parallel;
 pub mod runner;
 
+pub use batch::{shard_plan, BatchEvaluation, BatchRunner, ShardArena};
 pub use breakdown::{precision_by_dominance, DominancePrecisionPoint};
 pub use compare::{compare_methods, MethodComparison, PAPER_METHOD_PAIRS};
 pub use errors::{analyze_errors, ErrorAnalysis, ErrorCause};

@@ -1,11 +1,18 @@
 //! Precision over the full collection period (Table 9): average, minimum,
 //! and standard deviation of every method's daily precision.
+//!
+//! The per-day runs ride on the sharded warm-arena core: the days are cut
+//! into contiguous shards ([`shard_plan`]), each shard fuses its day range
+//! against one [`ShardArena`] (in-place problem refills, reused method
+//! scratch), and the per-day precision vectors are concatenated in day
+//! order — the same numbers the old one-context-per-day loop produced,
+//! without its per-day allocations.
 
+use crate::batch::{shard_plan, ShardArena};
 use crate::metrics::precision_recall;
-use crate::runner::EvaluationContext;
-use copydetect::known_copying;
 use datamodel::Collection;
 use fusion::{all_methods, FusionOptions};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// Table-9 row for one method.
@@ -25,11 +32,12 @@ pub struct MethodOverTime {
     pub deviation: f64,
 }
 
-/// Run every method on every day of a collection and summarize. `use_known_copying`
-/// feeds the planted/claimed copy groups to the oracle runs (only affects the
-/// copy-aware methods' "with trust" path, which Table 9 does not use, so it is
-/// typically left off).
+/// Run every method on every day of a collection and summarize.
+/// `use_known_copying` is accepted for API stability; Table 9 only uses the
+/// standard (without-trust) runs, which never read the oracle copy groups —
+/// the rows are identical either way, exactly as before the sharded rewrite.
 pub fn evaluate_over_time(collection: &Collection, use_known_copying: bool) -> Vec<MethodOverTime> {
+    let _ = use_known_copying;
     let mut rows: Vec<MethodOverTime> = all_methods()
         .iter()
         .map(|(category, method)| MethodOverTime {
@@ -42,16 +50,34 @@ pub fn evaluate_over_time(collection: &Collection, use_known_copying: bool) -> V
         })
         .collect();
 
-    for day in collection.days() {
-        let mut context = EvaluationContext::new(&day.snapshot, &day.gold);
-        if use_known_copying {
-            let report = known_copying(day.snapshot.schema());
-            context = context.with_known_copying(&report);
-        }
-        for (row, (_, method)) in rows.iter_mut().zip(all_methods()) {
-            let result = method.run(&context.problem, &FusionOptions::standard());
-            let pr = precision_recall(context.snapshot, context.gold, &result);
-            row.daily_precision.push(pr.precision);
+    // Contiguous day shards, one warm arena per shard; each inner vector is
+    // one day's per-method precisions, concatenated back in day order.
+    let weights: Vec<usize> = collection.days().map(|d| d.snapshot.num_items()).collect();
+    let plan = shard_plan(&weights, rayon::current_num_threads());
+    let per_shard: Vec<Vec<Vec<f64>>> = plan
+        .into_par_iter()
+        .map(|range| {
+            let methods = all_methods();
+            let mut arena = ShardArena::new();
+            range
+                .map(|i| {
+                    let day = collection.day(i);
+                    arena.prepare(&day.snapshot);
+                    methods
+                        .iter()
+                        .map(|(_, method)| {
+                            let result =
+                                arena.run(method.as_ref(), &FusionOptions::standard());
+                            precision_recall(&day.snapshot, &day.gold, &result).precision
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    for day_precisions in per_shard.into_iter().flatten() {
+        for (row, precision) in rows.iter_mut().zip(day_precisions) {
+            row.daily_precision.push(precision);
         }
     }
 

@@ -7,7 +7,7 @@ use copydetect::CopyReport;
 use datamodel::{GoldStandard, Snapshot};
 use fusion::{
     all_methods, method_by_name, CopyMatrix, FusionMethod, FusionOptions, FusionProblem,
-    FusionResult, MethodCategory,
+    FusionResult, FusionScratch, MethodCategory,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -95,26 +95,34 @@ pub struct MethodEvaluation {
     pub elapsed: Duration,
 }
 
-/// Evaluate a single method on a context. `category` is only used for the
-/// report label.
-pub fn evaluate_method(
-    context: &EvaluationContext<'_>,
+/// Core of [`evaluate_method`]: the context is passed piecewise (snapshot,
+/// gold, problem, sampled trust, optional oracle copying) together with a
+/// caller-owned [`FusionScratch`], so the per-context runners and the
+/// warm-arena batch runner share one code path — which is what makes their
+/// rows bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_method_core(
+    snapshot: &Snapshot,
+    gold: &GoldStandard,
+    problem: &FusionProblem,
+    sampled_trust: &[f64],
+    known_copying: Option<&CopyMatrix>,
     category: MethodCategory,
     method: &dyn FusionMethod,
+    scratch: &mut FusionScratch,
 ) -> MethodEvaluation {
     let standard = FusionOptions::standard();
-    let without = method.run(&context.problem, &standard);
-    let pr_without = precision_recall(context.snapshot, context.gold, &without);
+    let without = method.run_with_scratch(problem, &standard, scratch);
+    let pr_without = precision_recall(snapshot, gold, &without);
     let (deviation, difference) =
-        trust_deviation_and_difference(&without.trust.overall, &context.sampled_trust);
+        trust_deviation_and_difference(&without.trust.overall, sampled_trust);
 
-    let mut with_opts =
-        FusionOptions::standard().with_input_trust(context.sampled_trust.clone());
-    if let Some(known) = &context.known_copying {
+    let mut with_opts = FusionOptions::standard().with_input_trust(sampled_trust.to_vec());
+    if let Some(known) = known_copying {
         with_opts = with_opts.with_known_copying(known.clone());
     }
-    let with = method.run(&context.problem, &with_opts);
-    let pr_with = precision_recall(context.snapshot, context.gold, &with);
+    let with = method.run_with_scratch(problem, &with_opts, scratch);
+    let pr_with = precision_recall(snapshot, gold, &with);
 
     MethodEvaluation {
         method: method.name(),
@@ -127,6 +135,25 @@ pub fn evaluate_method(
         rounds: without.rounds,
         elapsed: without.elapsed,
     }
+}
+
+/// Evaluate a single method on a context. `category` is only used for the
+/// report label.
+pub fn evaluate_method(
+    context: &EvaluationContext<'_>,
+    category: MethodCategory,
+    method: &dyn FusionMethod,
+) -> MethodEvaluation {
+    evaluate_method_core(
+        context.snapshot,
+        context.gold,
+        &context.problem,
+        &context.sampled_trust,
+        context.known_copying.as_ref(),
+        category,
+        method,
+        &mut FusionScratch::new(),
+    )
 }
 
 /// Evaluate all sixteen paper methods on a context, in Table-7 order.

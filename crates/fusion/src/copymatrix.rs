@@ -90,6 +90,16 @@ impl CopyMatrix {
         self.data.fill(0.0);
     }
 
+    /// Re-shape the matrix for `num_sources` sources and reset every pair to
+    /// `0.0`, keeping the existing capacity — the warm-arena fusion scratch
+    /// reuses one matrix across differently-sized problems.
+    pub fn reset(&mut self, num_sources: usize) {
+        self.num_sources = num_sources;
+        self.data.clear();
+        self.data
+            .resize(num_sources * num_sources.saturating_sub(1) / 2, 0.0);
+    }
+
     /// Iterate over all pairs with a non-zero probability, in `(a, b)`
     /// lexicographic order (`a < b`).
     pub fn pairs(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {

@@ -30,6 +30,8 @@ pub mod types;
 
 pub use copymatrix::CopyMatrix;
 pub use methods::FusionMethod;
-pub use problem::{Candidate, FusionProblem, PreparedItem};
+pub use problem::{Candidate, FusionProblem, PreparedItem, ProblemBuilder};
 pub use registry::{all_methods, method_by_name, MethodCategory};
-pub use types::{AttrTrust, FusionOptions, FusionResult, TrustEstimate, VotePlane};
+pub use types::{
+    AttrTrust, FusionOptions, FusionResult, FusionScratch, TrustEstimate, VotePlane,
+};

@@ -18,7 +18,10 @@
 
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::{FusionProblem, PreparedItem};
-use crate::types::{argmax_selection, AttrTrust, FusionOptions, FusionResult, TrustEstimate, VotePlane};
+use crate::types::{
+    argmax_selection, AttrTrust, FusionOptions, FusionResult, FusionScratch, TrustEstimate,
+    TrustScratch, VotePlane,
+};
 use std::time::Instant;
 
 /// TRUTHFINDER (Yin et al.).
@@ -47,11 +50,23 @@ impl FusionMethod for TruthFinder {
         "TruthFinder".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
         let start = Instant::now();
+        let FusionScratch {
+            plane: confidence,
+            cand_a: raw,
+            trust_acc,
+            ..
+        } = scratch;
         let mut trust = initial_trust(problem, options, self.initial_trust);
-        let mut confidence = VotePlane::for_problem(problem);
-        let mut raw = vec![0.0; problem.max_candidates()];
+        confidence.reset_for(problem);
+        raw.clear();
+        raw.resize(problem.max_candidates(), 0.0);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
@@ -76,14 +91,14 @@ impl FusionMethod for TruthFinder {
             }
             // Trust update: average confidence of the source's claims.
             let mut new_trust = trust.clone();
-            update_trust_from_scores(problem, &confidence, options, &mut new_trust);
+            update_trust_from_scores(problem, confidence, options, &mut new_trust, trust_acc);
             let change = new_trust.max_change(&trust);
             trust = new_trust;
             if change < options.epsilon {
                 break;
             }
         }
-        let selection = argmax_selection(&confidence);
+        let selection = argmax_selection(confidence);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -202,14 +217,28 @@ impl FusionMethod for Accu {
         }
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
         let start = Instant::now();
         let mut opts = options.clone();
         opts.per_attribute_trust = opts.per_attribute_trust || self.per_attribute;
+        let FusionScratch {
+            plane: probabilities,
+            cand_a: votes,
+            cand_b: adjusted,
+            trust_acc,
+            ..
+        } = scratch;
         let mut trust = initial_trust(problem, &opts, self.initial_accuracy);
-        let mut probabilities = VotePlane::for_problem(problem);
-        let mut votes = vec![0.0; problem.max_candidates()];
-        let mut adjusted = vec![0.0; problem.max_candidates()];
+        probabilities.reset_for(problem);
+        votes.clear();
+        votes.resize(problem.max_candidates(), 0.0);
+        adjusted.clear();
+        adjusted.resize(problem.max_candidates(), 0.0);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(&opts) {
             rounds += 1;
@@ -239,7 +268,7 @@ impl FusionMethod for Accu {
                 softmax_into(&adjusted[..num_candidates], probabilities.item_mut(i));
             }
             let mut new_trust = trust.clone();
-            update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
+            update_trust_from_scores(problem, probabilities, &opts, &mut new_trust, trust_acc);
             clamp_trust(&mut new_trust, 0.01, 0.99);
             let change = new_trust.max_change(&trust);
             trust = new_trust;
@@ -247,7 +276,7 @@ impl FusionMethod for Accu {
                 break;
             }
         }
-        let selection = argmax_selection(&probabilities);
+        let selection = argmax_selection(probabilities);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -269,41 +298,37 @@ pub(crate) fn softmax_into(scores: &[f64], out: &mut [f64]) {
 }
 
 /// Update trust as the average per-claim score (probability or confidence) of
-/// each source, optionally per attribute.
+/// each source, optionally per attribute. `acc` provides the reusable S and
+/// S×A accumulators (re-zeroed here), so the per-round update allocates
+/// nothing once the scratch is warm.
 pub(crate) fn update_trust_from_scores(
     problem: &FusionProblem,
     scores: &VotePlane,
     options: &FusionOptions,
     trust: &mut TrustEstimate,
+    acc: &mut TrustScratch,
 ) {
     let per_attr = options.per_attribute_trust || trust.per_attr.is_some();
     let num_attrs = problem.num_attrs;
-    let mut overall_sum = vec![0.0; problem.num_sources()];
-    let mut overall_count = vec![0usize; problem.num_sources()];
-    // The S×A accumulators are only needed (and only allocated) for the
+    // The S×A accumulators are only needed (and only sized) for the
     // per-attribute variants; they share the flat `source * num_attrs + attr`
     // layout of [`AttrTrust`].
-    let mut attr_sum = Vec::new();
-    let mut attr_count = Vec::new();
-    if per_attr {
-        attr_sum = vec![0.0; num_attrs * problem.num_sources()];
-        attr_count = vec![0usize; num_attrs * problem.num_sources()];
-    }
+    acc.reset(problem.num_sources(), num_attrs, per_attr);
     for (s, claims) in problem.claims_by_source().enumerate() {
         for &(i, c) in claims {
             let score = scores.get(i as usize, c as usize);
-            overall_sum[s] += score;
-            overall_count[s] += 1;
+            acc.overall_sum[s] += score;
+            acc.overall_count[s] += 1;
             if per_attr {
                 let a = problem.item_attr(i as usize);
-                attr_sum[s * num_attrs + a] += score;
-                attr_count[s * num_attrs + a] += 1;
+                acc.attr_sum[s * num_attrs + a] += score;
+                acc.attr_count[s * num_attrs + a] += 1;
             }
         }
     }
     for s in 0..problem.num_sources() {
-        if overall_count[s] > 0 {
-            trust.overall[s] = overall_sum[s] / overall_count[s] as f64;
+        if acc.overall_count[s] > 0 {
+            trust.overall[s] = acc.overall_sum[s] / acc.overall_count[s] as f64;
         }
     }
     if per_attr {
@@ -313,8 +338,8 @@ pub(crate) fn update_trust_from_scores(
         for s in 0..problem.num_sources() {
             for a in 0..num_attrs {
                 let k = s * num_attrs + a;
-                if attr_count[k] > 0 {
-                    pa.set(s, a, attr_sum[k] / attr_count[k] as f64);
+                if acc.attr_count[k] > 0 {
+                    pa.set(s, a, acc.attr_sum[k] / acc.attr_count[k] as f64);
                 } else {
                     // Attributes the source does not provide inherit its
                     // overall trust.

@@ -35,7 +35,7 @@ use crate::copymatrix::{triangular_slot, CopyMatrix};
 use crate::methods::bayesian::{clamp_trust, softmax_into, update_trust_from_scores, Accu};
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{argmax_selection_into, FusionOptions, FusionResult, VotePlane};
+use crate::types::{argmax_selection_into, FusionOptions, FusionResult, FusionScratch};
 use std::time::Instant;
 
 /// ACCUCOPY.
@@ -68,7 +68,12 @@ impl FusionMethod for AccuCopy {
         "AccuCopy".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
         let start = Instant::now();
         let mut opts = options.clone();
         opts.per_attribute_trust = opts.per_attribute_trust || self.base.per_attribute;
@@ -78,19 +83,35 @@ impl FusionMethod for AccuCopy {
         let co_claims = known
             .is_none()
             .then(|| CoClaims::build(problem, self.min_shared_items));
-        let mut detected = CopyMatrix::new(problem.num_sources());
-        let mut error_rates = vec![0.0; problem.num_sources()];
+        // Reusable scratch: the probability plane, the per-item vote buffers,
+        // the accuracy-ordered provider list, the per-source error rates, the
+        // detected-copying matrix, and the trust accumulators — no
+        // allocations inside the rounds, and none at all once the scratch is
+        // warm.
+        let FusionScratch {
+            plane: probabilities,
+            cand_a: votes,
+            cand_b: adjusted,
+            providers: ordered_providers,
+            source_f: error_rates,
+            copy_probs: detected,
+            trust_acc,
+            ..
+        } = scratch;
+        detected.reset(problem.num_sources());
+        error_rates.clear();
+        error_rates.resize(problem.num_sources(), 0.0);
 
         let mut trust = initial_trust(problem, &opts, self.base.initial_accuracy);
-        let mut probabilities = VotePlane::for_problem(problem);
+        probabilities.reset_for(problem);
         // Start from the dominant-value selection for the first copy-detection
         // pass.
         let mut selection = vec![0usize; problem.num_items()];
-        // Reusable per-item scratch (votes, similarity-adjusted votes) and
-        // per-candidate provider ordering — no allocations inside the rounds.
-        let mut votes = vec![0.0; problem.max_candidates()];
-        let mut adjusted = vec![0.0; problem.max_candidates()];
-        let mut ordered_providers: Vec<u32> = Vec::new();
+        votes.clear();
+        votes.resize(problem.max_candidates(), 0.0);
+        adjusted.clear();
+        adjusted.resize(problem.max_candidates(), 0.0);
+        ordered_providers.clear();
 
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(&opts) {
@@ -103,10 +124,10 @@ impl FusionMethod for AccuCopy {
                         &selection,
                         self.copy_rate,
                         self.prior,
-                        &mut error_rates,
-                        &mut detected,
+                        error_rates,
+                        detected,
                     );
-                    &detected
+                    detected
                 }
                 (None, None) => unreachable!("co-claims are built whenever no oracle is given"),
             };
@@ -153,9 +174,9 @@ impl FusionMethod for AccuCopy {
                 }
                 softmax_into(&adjusted[..num_candidates], probabilities.item_mut(i));
             }
-            argmax_selection_into(&probabilities, &mut selection);
+            argmax_selection_into(probabilities, &mut selection);
             let mut new_trust = trust.clone();
-            update_trust_from_scores(problem, &probabilities, &opts, &mut new_trust);
+            update_trust_from_scores(problem, probabilities, &opts, &mut new_trust, trust_acc);
             clamp_trust(&mut new_trust, 0.01, 0.99);
             let change = new_trust.max_change(&trust);
             trust = new_trust;

@@ -15,7 +15,7 @@
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
 use crate::types::{
-    argmax_selection, rescale_to_unit, FusionOptions, FusionResult, TrustEstimate, VotePlane,
+    argmax_selection, rescale_to_unit, FusionOptions, FusionResult, FusionScratch, TrustEstimate,
 };
 use std::time::Instant;
 
@@ -48,10 +48,16 @@ impl FusionMethod for Cosine {
         "Cosine".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 0.8);
-        let mut estimates = VotePlane::for_problem(problem);
+        let estimates = &mut scratch.plane;
+        estimates.reset_for(problem);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
@@ -108,7 +114,7 @@ impl FusionMethod for Cosine {
                 break;
             }
         }
-        let selection = argmax_selection(&estimates);
+        let selection = argmax_selection(estimates);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -120,12 +126,19 @@ fn run_estimates(
     difficulty: bool,
     problem: &FusionProblem,
     options: &FusionOptions,
+    scratch: &mut FusionScratch,
 ) -> FusionResult {
     let start = Instant::now();
     let mut trust = initial_trust(problem, options, 0.8);
-    let mut votes = VotePlane::for_problem(problem);
+    let FusionScratch {
+        plane: votes,
+        item_f: hardness,
+        ..
+    } = scratch;
+    votes.reset_for(problem);
     // Per-item difficulty in [0, 1]; 0 = easy (votes count fully).
-    let mut hardness = vec![0.5; problem.num_items()];
+    hardness.clear();
+    hardness.resize(problem.num_items(), 0.5);
     let mut rounds = 0usize;
     for _ in 0..effective_rounds(options) {
         rounds += 1;
@@ -192,7 +205,7 @@ fn run_estimates(
             break;
         }
     }
-    let selection = argmax_selection(&votes);
+    let selection = argmax_selection(votes);
     FusionResult::from_selection(name, problem, selection, trust, rounds, start)
 }
 
@@ -201,8 +214,13 @@ impl FusionMethod for TwoEstimates {
         "2-Estimates".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
-        run_estimates(&self.name(), false, problem, options)
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
+        run_estimates(&self.name(), false, problem, options, scratch)
     }
 }
 
@@ -211,8 +229,13 @@ impl FusionMethod for ThreeEstimates {
         "3-Estimates".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
-        run_estimates(&self.name(), true, problem, options)
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
+        run_estimates(&self.name(), true, problem, options, scratch)
     }
 }
 

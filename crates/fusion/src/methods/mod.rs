@@ -20,15 +20,32 @@ pub use vote::Vote;
 pub use weblink::{AvgLog, Hub, Invest, PooledInvest};
 
 use crate::problem::FusionProblem;
-use crate::types::{FusionOptions, FusionResult};
+use crate::types::{FusionOptions, FusionResult, FusionScratch};
 
 /// A data-fusion (truth-discovery) method.
 pub trait FusionMethod: Send + Sync {
     /// The method name as used in the paper's tables (e.g. `"AccuCopy"`).
     fn name(&self) -> String;
 
-    /// Run the method over a prepared problem.
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult;
+    /// Run the method over a prepared problem, using `scratch` for every
+    /// reusable buffer the rounds need. Each buffer is re-shaped for
+    /// `problem` before its first read, so the same scratch can be handed
+    /// across methods, runs, and differently-shaped problems: the result is
+    /// bit-identical to a run with a fresh scratch (the batch-equivalence
+    /// suites pin this).
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult;
+
+    /// Run the method over a prepared problem with a throwaway scratch.
+    /// Callers fusing many snapshots should hold one [`FusionScratch`] and
+    /// use [`run_with_scratch`](Self::run_with_scratch) instead.
+    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+        self.run_with_scratch(problem, options, &mut FusionScratch::new())
+    }
 }
 
 /// Initial trust for iterative methods: the supplied input trust when present,

@@ -6,7 +6,7 @@
 
 use crate::methods::FusionMethod;
 use crate::problem::FusionProblem;
-use crate::types::{FusionOptions, FusionResult, TrustEstimate};
+use crate::types::{FusionOptions, FusionResult, FusionScratch, TrustEstimate};
 use std::time::Instant;
 
 /// The baseline VOTE strategy: for every data item select the value provided
@@ -20,7 +20,12 @@ impl FusionMethod for Vote {
         "Vote".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, _options: &FusionOptions) -> FusionResult {
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        _options: &FusionOptions,
+        _scratch: &mut FusionScratch,
+    ) -> FusionResult {
         let start = Instant::now();
         // Candidates are ordered by descending support, so the dominant value
         // is always candidate 0.

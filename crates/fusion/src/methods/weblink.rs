@@ -16,7 +16,7 @@
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
 use crate::types::{
-    argmax_selection, normalize_by_max, FusionOptions, FusionResult, TrustEstimate, VotePlane,
+    argmax_selection, normalize_by_max, FusionOptions, FusionResult, FusionScratch, TrustEstimate,
 };
 use std::time::Instant;
 
@@ -63,10 +63,16 @@ impl FusionMethod for Hub {
         "Hub".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
-        let mut votes = VotePlane::for_problem(problem);
+        let votes = &mut scratch.plane;
+        votes.reset_for(problem);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
@@ -90,7 +96,7 @@ impl FusionMethod for Hub {
                 break;
             }
         }
-        let selection = argmax_selection(&votes);
+        let selection = argmax_selection(votes);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -100,10 +106,16 @@ impl FusionMethod for AvgLog {
         "AvgLog".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
-        let mut votes = VotePlane::for_problem(problem);
+        let votes = &mut scratch.plane;
+        votes.reset_for(problem);
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(options) {
             rounds += 1;
@@ -132,7 +144,7 @@ impl FusionMethod for AvgLog {
                 break;
             }
         }
-        let selection = argmax_selection(&votes);
+        let selection = argmax_selection(votes);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -144,14 +156,23 @@ fn run_invest(
     pooled: bool,
     problem: &FusionProblem,
     options: &FusionOptions,
+    scratch: &mut FusionScratch,
 ) -> FusionResult {
     let start = Instant::now();
     let mut trust = initial_trust(problem, options, 1.0);
-    let mut votes = VotePlane::for_problem(problem);
-    // Reusable per-round buffers: per-source investment and the per-item
-    // non-linear-growth scratch.
-    let mut invested = vec![0.0; problem.num_sources()];
-    let mut grown = vec![0.0; problem.max_candidates()];
+    // Reusable buffers: the vote plane, the per-source investment, and the
+    // per-item non-linear-growth scratch.
+    let FusionScratch {
+        plane: votes,
+        source_f: invested,
+        cand_a: grown,
+        ..
+    } = scratch;
+    votes.reset_for(problem);
+    invested.clear();
+    invested.resize(problem.num_sources(), 0.0);
+    grown.clear();
+    grown.resize(problem.max_candidates(), 0.0);
     let mut rounds = 0usize;
     for _ in 0..effective_rounds(options) {
         rounds += 1;
@@ -227,7 +248,7 @@ fn run_invest(
             break;
         }
     }
-    let selection = argmax_selection(&votes);
+    let selection = argmax_selection(votes);
     FusionResult::from_selection(name, problem, selection, trust, rounds, start)
 }
 
@@ -236,8 +257,13 @@ impl FusionMethod for Invest {
         "Invest".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
-        run_invest(&self.name(), self.growth, false, problem, options)
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
+        run_invest(&self.name(), self.growth, false, problem, options, scratch)
     }
 }
 
@@ -246,8 +272,13 @@ impl FusionMethod for PooledInvest {
         "PooledInvest".to_string()
     }
 
-    fn run(&self, problem: &FusionProblem, options: &FusionOptions) -> FusionResult {
-        run_invest(&self.name(), self.growth, true, problem, options)
+    fn run_with_scratch(
+        &self,
+        problem: &FusionProblem,
+        options: &FusionOptions,
+        scratch: &mut FusionScratch,
+    ) -> FusionResult {
+        run_invest(&self.name(), self.growth, true, problem, options, scratch)
     }
 }
 

@@ -25,13 +25,29 @@
 //! the flat arrays. The inner vote loops therefore walk contiguous memory
 //! the compiler can keep in cache (and vectorize), while reading like the
 //! original nested code.
+//!
+//! # Lifecycle
+//!
+//! Preparation has an explicit arena form: [`ProblemBuilder`] owns one
+//! [`FusionProblem`] and re-fills every CSR vector **in place** on each
+//! [`ProblemBuilder::prepare`] call, so a runner that fuses many snapshots in
+//! sequence (the batch evaluation of the longitudinal experiments) keeps one
+//! warm set of allocations instead of rebuilding the problem from scratch per
+//! day. [`FusionProblem::from_snapshot`] is a thin wrapper over a one-shot
+//! builder, so the fresh and refill paths are the same code by construction;
+//! a property suite additionally pins refill == fresh across
+//! differently-shaped consecutive snapshots.
 
 use datamodel::{ItemId, Snapshot, SourceId, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 
 /// A full snapshot prepared for fusion, laid out as flat CSR arrays.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every CSR array, offset table, and the claim order —
+/// two problems are `==` exactly when every fusion method would walk
+/// identical memory; the arena property tests rely on this.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FusionProblem {
     /// Sources, in dense-index order.
     pub sources: Vec<SourceId>,
@@ -222,137 +238,197 @@ impl<'a> Candidate<'a> {
 /// measurable to the similarity-aware methods but would bloat the problem).
 const SIMILARITY_FLOOR: f64 = 0.05;
 
-// Candidate values of one item during construction, before flattening.
-struct TempCandidate {
-    value: Value,
-    providers: Vec<u32>,
-    similar: Vec<(u32, f64)>,
-    coarse_supporters: Vec<u32>,
+/// Reusable arena that prepares snapshots into one owned [`FusionProblem`],
+/// re-filling every CSR vector **in place** on each [`prepare`] call.
+///
+/// Capacities grow to the largest snapshot seen and are then reused, so a
+/// shard of a batch evaluation that fuses many consecutive days pays the
+/// problem-construction allocations only once. The refill path is the *only*
+/// construction path ([`FusionProblem::from_snapshot`] delegates here), so a
+/// warm and a fresh preparation of the same snapshot are identical by
+/// construction — and additionally pinned by the arena property suite.
+///
+/// [`prepare`]: ProblemBuilder::prepare
+#[derive(Debug, Default)]
+pub struct ProblemBuilder {
+    problem: FusionProblem,
+    // Per-source claim lists during construction; the inner vectors keep
+    // their capacity across refills.
+    claims_nested: Vec<Vec<(u32, u32)>>,
+    // Reusable bucketing scratch + recycled bucket storage: the per-item
+    // tolerance bucketing is where a cold preparation spends ~90% of its
+    // allocations, so the arena owns it too.
+    bucketer: datamodel::Bucketer,
+    buckets: Vec<datamodel::ValueBucket>,
 }
 
-impl FusionProblem {
-    /// Prepare `snapshot` for fusion: bucket candidates, compute similarity
-    /// and formatting links, then lay everything out as flat CSR arrays.
-    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
-        let sources: Vec<SourceId> = snapshot.active_sources().into_iter().collect();
-        let source_index: HashMap<SourceId, usize> = sources
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (*s, i))
-            .collect();
-        let num_attrs = snapshot.schema().num_attributes();
+impl ProblemBuilder {
+    /// An empty arena (the first [`prepare`](Self::prepare) sizes it).
+    pub fn new() -> Self {
+        Self::default()
+    }
 
-        let mut item_ids = Vec::with_capacity(snapshot.num_items());
-        let mut item_attrs = Vec::with_capacity(snapshot.num_items());
-        let mut item_cand_offsets: Vec<u32> = vec![0];
-        let mut cand_values: Vec<Value> = Vec::new();
-        let mut provider_offsets: Vec<u32> = vec![0];
-        let mut providers: Vec<u32> = Vec::new();
-        let mut similar_offsets: Vec<u32> = vec![0];
-        let mut similar: Vec<(u32, f64)> = Vec::new();
-        let mut coarse_offsets: Vec<u32> = vec![0];
-        let mut coarse_supporters: Vec<u32> = Vec::new();
-        let mut item_provider_offsets: Vec<u32> = vec![0];
-        let mut item_providers: Vec<u32> = Vec::new();
-        let mut claims_nested: Vec<Vec<(u32, u32)>> = vec![Vec::new(); sources.len()];
+    /// The problem most recently prepared (empty before the first
+    /// [`prepare`](Self::prepare) call).
+    pub fn problem(&self) -> &FusionProblem {
+        &self.problem
+    }
+
+    /// Give up the arena and keep only the prepared problem.
+    pub fn into_problem(self) -> FusionProblem {
+        self.problem
+    }
+
+    /// Prepare `snapshot` for fusion: bucket candidates, compute similarity
+    /// and formatting links, then lay everything out as flat CSR arrays —
+    /// re-using the arena's existing allocations.
+    pub fn prepare(&mut self, snapshot: &Snapshot) -> &FusionProblem {
+        let p = &mut self.problem;
+        p.sources.clear();
+        p.sources.extend(snapshot.active_sources());
+        p.source_index.clear();
+        p.source_index
+            .extend(p.sources.iter().enumerate().map(|(i, s)| (*s, i)));
+        p.num_attrs = snapshot.schema().num_attributes();
+
+        p.item_ids.clear();
+        p.item_attrs.clear();
+        p.item_cand_offsets.clear();
+        p.item_cand_offsets.push(0);
+        p.cand_values.clear();
+        p.provider_offsets.clear();
+        p.provider_offsets.push(0);
+        p.providers.clear();
+        p.similar_offsets.clear();
+        p.similar_offsets.push(0);
+        p.similar.clear();
+        p.coarse_offsets.clear();
+        p.coarse_offsets.push(0);
+        p.coarse_supporters.clear();
+        p.item_provider_offsets.clear();
+        p.item_provider_offsets.push(0);
+        p.item_providers.clear();
+        p.claims.clear();
+        p.claim_offsets.clear();
+
+        let num_sources = p.sources.len();
+        for list in self.claims_nested.iter_mut() {
+            list.clear();
+        }
+        if self.claims_nested.len() < num_sources {
+            self.claims_nested.resize_with(num_sources, Vec::new);
+        }
 
         for (item_id, _) in snapshot.items() {
-            let buckets = snapshot.buckets(*item_id);
+            snapshot.buckets_into(*item_id, &mut self.bucketer, &mut self.buckets);
+            let buckets = &self.buckets;
             if buckets.is_empty() {
                 continue;
             }
             let scale = snapshot.tolerance().similarity_scale(item_id.attr);
-            let mut candidates: Vec<TempCandidate> = buckets
-                .iter()
-                .map(|b| TempCandidate {
-                    value: b.representative.clone(),
-                    providers: b
-                        .providers
-                        .iter()
-                        .filter_map(|s| source_index.get(s).map(|&i| i as u32))
-                        .collect(),
-                    similar: Vec::new(),
-                    coarse_supporters: Vec::new(),
-                })
-                .collect();
+            let item_index = p.item_ids.len() as u32;
+            let cand_start = p.cand_values.len();
+            let union_start = p.item_providers.len();
 
-            // Pairwise similarity and formatting subsumption between candidates.
-            for i in 0..candidates.len() {
-                for j in 0..candidates.len() {
+            // Candidate values, providers, claims, and the provider union, in
+            // bucket (descending-support) order.
+            for (cand_index, bucket) in buckets.iter().enumerate() {
+                p.cand_values.push(bucket.representative.clone());
+                for source in &bucket.providers {
+                    let Some(&s) = p.source_index.get(source) else {
+                        continue;
+                    };
+                    p.providers.push(s as u32);
+                    p.item_providers.push(s as u32);
+                    self.claims_nested[s].push((item_index, cand_index as u32));
+                }
+                p.provider_offsets.push(p.providers.len() as u32);
+            }
+
+            // Pairwise similarity and formatting subsumption between
+            // candidates (all of this item's values are already in
+            // `cand_values`).
+            for i in 0..buckets.len() {
+                for j in 0..buckets.len() {
                     if i == j {
                         continue;
                     }
-                    let sim = candidates[i].value.similarity(&candidates[j].value, scale);
+                    let vi = &p.cand_values[cand_start + i];
+                    let vj = &p.cand_values[cand_start + j];
+                    let sim = vi.similarity(vj, scale);
                     if sim > SIMILARITY_FLOOR {
-                        candidates[i].similar.push((j as u32, sim));
+                        p.similar.push((j as u32, sim));
                     }
-                    if candidates[j].value.subsumes(&candidates[i].value) {
-                        candidates[i].coarse_supporters.push(j as u32);
+                    if vj.subsumes(vi) {
+                        p.coarse_supporters.push(j as u32);
                     }
                 }
+                p.similar_offsets.push(p.similar.len() as u32);
+                p.coarse_offsets.push(p.coarse_supporters.len() as u32);
             }
 
-            let item_index = item_ids.len() as u32;
-            let union_start = item_providers.len();
-            for (cand_index, cand) in candidates.into_iter().enumerate() {
-                for &s in &cand.providers {
-                    claims_nested[s as usize].push((item_index, cand_index as u32));
-                    item_providers.push(s);
-                }
-                cand_values.push(cand.value);
-                providers.extend_from_slice(&cand.providers);
-                provider_offsets.push(providers.len() as u32);
-                similar.extend_from_slice(&cand.similar);
-                similar_offsets.push(similar.len() as u32);
-                coarse_supporters.extend_from_slice(&cand.coarse_supporters);
-                coarse_offsets.push(coarse_supporters.len() as u32);
-            }
-            let union = &mut item_providers[union_start..];
+            let union = &mut p.item_providers[union_start..];
             union.sort_unstable();
             let mut kept = union_start;
-            for k in union_start..item_providers.len() {
-                if k == union_start || item_providers[k] != item_providers[k - 1] {
-                    item_providers[kept] = item_providers[k];
+            for k in union_start..p.item_providers.len() {
+                if k == union_start || p.item_providers[k] != p.item_providers[k - 1] {
+                    p.item_providers[kept] = p.item_providers[k];
                     kept += 1;
                 }
             }
-            item_providers.truncate(kept);
-            item_provider_offsets.push(item_providers.len() as u32);
-            item_cand_offsets.push(cand_values.len() as u32);
+            p.item_providers.truncate(kept);
+            p.item_provider_offsets.push(p.item_providers.len() as u32);
+            p.item_cand_offsets.push(p.cand_values.len() as u32);
 
-            item_ids.push(*item_id);
-            item_attrs.push(item_id.attr.index() as u32);
+            p.item_ids.push(*item_id);
+            p.item_attrs.push(item_id.attr.index() as u32);
         }
 
         // Flatten the per-source claim lists (each already in item order).
-        let mut claim_offsets: Vec<u32> = Vec::with_capacity(sources.len() + 1);
-        claim_offsets.push(0);
-        let mut claims: Vec<(u32, u32)> =
-            Vec::with_capacity(claims_nested.iter().map(Vec::len).sum());
-        for list in claims_nested {
-            claims.extend_from_slice(&list);
-            claim_offsets.push(claims.len() as u32);
+        p.claim_offsets.push(0);
+        for list in self.claims_nested.iter().take(num_sources) {
+            p.claims.extend_from_slice(list);
+            p.claim_offsets.push(p.claims.len() as u32);
         }
 
+        &self.problem
+    }
+}
+
+impl Default for FusionProblem {
+    /// An empty problem (no sources, no items) with consistent offset tables;
+    /// the state a [`ProblemBuilder`] holds before its first refill.
+    fn default() -> Self {
         Self {
-            sources,
-            num_attrs,
-            item_ids,
-            item_attrs,
-            item_cand_offsets,
-            cand_values,
-            provider_offsets,
-            providers,
-            similar_offsets,
-            similar,
-            coarse_offsets,
-            coarse_supporters,
-            item_provider_offsets,
-            item_providers,
-            claim_offsets,
-            claims,
-            source_index,
+            sources: Vec::new(),
+            num_attrs: 0,
+            item_ids: Vec::new(),
+            item_attrs: Vec::new(),
+            item_cand_offsets: vec![0],
+            cand_values: Vec::new(),
+            provider_offsets: vec![0],
+            providers: Vec::new(),
+            similar_offsets: vec![0],
+            similar: Vec::new(),
+            coarse_offsets: vec![0],
+            coarse_supporters: Vec::new(),
+            item_provider_offsets: vec![0],
+            item_providers: Vec::new(),
+            claim_offsets: vec![0],
+            claims: Vec::new(),
+            source_index: HashMap::new(),
         }
+    }
+}
+
+impl FusionProblem {
+    /// Prepare `snapshot` for fusion with a one-shot [`ProblemBuilder`].
+    /// Callers preparing many snapshots should hold a builder and
+    /// [`ProblemBuilder::prepare`] into it instead.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut builder = ProblemBuilder::new();
+        builder.prepare(snapshot);
+        builder.into_problem()
     }
 
     /// Number of sources.
@@ -543,6 +619,42 @@ mod tests {
             values[&ItemId::new(ObjectId(0), AttrId(0))],
             Value::number(100.0)
         );
+    }
+
+    #[test]
+    fn builder_refill_matches_fresh_preparation() {
+        let snap_a = snapshot();
+        // A differently-shaped second snapshot: fewer sources, other values.
+        let mut schema = DomainSchema::new("test2");
+        schema.add_attribute("price", AttrKind::Numeric { scale: 100.0 }, false);
+        for i in 0..2 {
+            schema.add_source(format!("t{i}"), false);
+        }
+        let mut b = SnapshotBuilder::new(1);
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(42.0));
+        b.add(SourceId(1), ObjectId(1), AttrId(0), Value::number(7.0));
+        let snap_b = b.build(Arc::new(schema));
+
+        let mut builder = ProblemBuilder::new();
+        // Warm the arena on the big snapshot, then refill with the small one
+        // (and back): every refill must equal a fresh preparation.
+        assert_eq!(*builder.prepare(&snap_a), FusionProblem::from_snapshot(&snap_a));
+        assert_eq!(*builder.prepare(&snap_b), FusionProblem::from_snapshot(&snap_b));
+        assert_eq!(*builder.prepare(&snap_a), FusionProblem::from_snapshot(&snap_a));
+        assert_eq!(builder.problem().num_items(), 2);
+        assert_eq!(builder.into_problem(), FusionProblem::from_snapshot(&snap_a));
+    }
+
+    #[test]
+    fn default_problem_is_empty_and_consistent() {
+        let p = FusionProblem::default();
+        assert_eq!(p.num_items(), 0);
+        assert_eq!(p.num_sources(), 0);
+        assert_eq!(p.num_candidates(), 0);
+        assert_eq!(p.num_claims(), 0);
+        assert_eq!(p.max_candidates(), 0);
+        assert_eq!(p.item_cand_offsets(), &[0]);
+        assert!(p.items().next().is_none());
     }
 
     #[test]

@@ -196,10 +196,30 @@ pub struct VotePlane {
 impl VotePlane {
     /// A zeroed plane spanning every candidate of `problem`.
     pub fn for_problem(problem: &FusionProblem) -> Self {
+        let mut plane = Self::empty();
+        plane.reset_for(problem);
+        plane
+    }
+
+    /// A plane spanning no items (the state a scratch plane holds before its
+    /// first [`reset_for`](Self::reset_for)).
+    pub fn empty() -> Self {
         Self {
-            offsets: problem.item_cand_offsets().to_vec(),
-            values: vec![0.0; problem.num_candidates()],
+            offsets: vec![0],
+            values: Vec::new(),
         }
+    }
+
+    /// Re-shape the plane for `problem` and zero every slot, keeping the
+    /// existing capacity. A plane freshly [`reset_for`](Self::reset_for) a
+    /// problem is indistinguishable from [`for_problem`](Self::for_problem)
+    /// on it, so warm reuse across differently-shaped problems cannot leak
+    /// state between runs.
+    pub fn reset_for(&mut self, problem: &FusionProblem) {
+        self.offsets.clear();
+        self.offsets.extend_from_slice(problem.item_cand_offsets());
+        self.values.clear();
+        self.values.resize(problem.num_candidates(), 0.0);
     }
 
     /// Build a plane from nested per-item rows (test and migration
@@ -313,6 +333,85 @@ pub fn argmax_selection(votes: &VotePlane) -> Vec<usize> {
 /// re-select every round: reuses `selection`'s allocation.
 pub fn argmax_selection_into(votes: &VotePlane, selection: &mut Vec<usize>) {
     votes.argmax_into(selection);
+}
+
+/// Reusable accumulators for the per-round trust updates: one slot per
+/// source for the overall estimate plus the flat `source * num_attrs + attr`
+/// S×A accumulators of the `*ATTR` variants. Sized lazily on first use and
+/// reused across rounds, methods, and (in the batch runner) days.
+#[derive(Debug, Clone, Default)]
+pub struct TrustScratch {
+    /// Per-source score sums.
+    pub(crate) overall_sum: Vec<f64>,
+    /// Per-source claim counts.
+    pub(crate) overall_count: Vec<usize>,
+    /// Per-(source, attribute) score sums, [`AttrTrust`] layout.
+    pub(crate) attr_sum: Vec<f64>,
+    /// Per-(source, attribute) claim counts, [`AttrTrust`] layout.
+    pub(crate) attr_count: Vec<usize>,
+}
+
+impl TrustScratch {
+    /// Zero the overall accumulators for `num_sources` sources and, when
+    /// `per_attr`, the S×A accumulators for `num_attrs` attributes.
+    pub(crate) fn reset(&mut self, num_sources: usize, num_attrs: usize, per_attr: bool) {
+        self.overall_sum.clear();
+        self.overall_sum.resize(num_sources, 0.0);
+        self.overall_count.clear();
+        self.overall_count.resize(num_sources, 0);
+        if per_attr {
+            self.attr_sum.clear();
+            self.attr_sum.resize(num_sources * num_attrs, 0.0);
+            self.attr_count.clear();
+            self.attr_count.resize(num_sources * num_attrs, 0);
+        }
+    }
+}
+
+/// Reusable working memory for one [`FusionMethod`] run.
+///
+/// Every buffer a method's inner rounds need — the candidate-axis
+/// [`VotePlane`], the per-item candidate scratch, the per-source and per-item
+/// vectors, the trust-update accumulators, and the copy-detection matrix — is
+/// re-shaped for the problem at hand (old contents are never read), so one
+/// scratch can be reused across methods, runs, and differently-shaped
+/// problems with zero steady-state allocation. `FusionMethod::run` creates a
+/// throwaway scratch; warm paths (the batch runner's shard arena) hold one
+/// and call `FusionMethod::run_with_scratch`.
+///
+/// [`FusionMethod`]: crate::methods::FusionMethod
+#[derive(Debug, Default)]
+pub struct FusionScratch {
+    /// Candidate-axis plane (probabilities / confidence / votes / estimates).
+    pub(crate) plane: VotePlane,
+    /// Per-item candidate scratch A (raw scores / votes).
+    pub(crate) cand_a: Vec<f64>,
+    /// Per-item candidate scratch B (adjusted votes / grown investments).
+    pub(crate) cand_b: Vec<f64>,
+    /// Per-item scratch (3-ESTIMATES difficulty).
+    pub(crate) item_f: Vec<f64>,
+    /// Per-source scratch (investments, error rates).
+    pub(crate) source_f: Vec<f64>,
+    /// Provider-ordering scratch (ACCUCOPY's accuracy-ordered providers).
+    pub(crate) providers: Vec<u32>,
+    /// Trust-update accumulators.
+    pub(crate) trust_acc: TrustScratch,
+    /// Detected copy probabilities (ACCUCOPY's per-round re-scoring target).
+    pub(crate) copy_probs: CopyMatrix,
+}
+
+impl FusionScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Default for VotePlane {
+    /// Same as [`VotePlane::empty`].
+    fn default() -> Self {
+        Self::empty()
+    }
 }
 
 /// The outcome of running one fusion method on one prepared snapshot.

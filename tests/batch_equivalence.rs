@@ -1,0 +1,143 @@
+//! Cross-runner equivalence harness for the sharded batch evaluation.
+//!
+//! The batch runner's whole contract is that warm-arena evaluation changes
+//! nothing but the wall clock: `BatchRunner` rows must be **bit-identical**
+//! to `ParallelRunner` rows and to `evaluate_days_sequential` rows on the
+//! same day selection — across seeds, scales, shard counts, and both the
+//! detected and the oracle (known-copying) paths. CI runs this suite in
+//! debug and `--release`, because the float-identical claims must hold
+//! under optimization too.
+
+use datagen::{flight_config, generate, stock_config, GeneratedDomain};
+use evaluation::{
+    evaluate_days_sequential, same_results, BatchRunner, DayEvaluation, ParallelRunner,
+};
+use proptest::prelude::*;
+
+/// Assert the full three-runner equivalence on every day of `domain`, for
+/// one copy path and one shard count.
+fn assert_three_way(domain: &GeneratedDomain, use_known_copying: bool, shards: usize) {
+    let indices: Vec<usize> = (0..domain.collection.num_days()).collect();
+    let sequential = evaluate_days_sequential(&domain.collection, &indices, use_known_copying);
+
+    let mut parallel = ParallelRunner::new();
+    let mut batch = BatchRunner::new().with_num_shards(shards);
+    if use_known_copying {
+        parallel = parallel.with_known_copying();
+        batch = batch.with_known_copying();
+    }
+    let parallel = parallel.evaluate_days(&domain.collection, &indices);
+    let batch = batch.evaluate_days(&domain.collection, &indices);
+
+    assert_eq!(sequential.len(), parallel.days.len());
+    assert_eq!(sequential.len(), batch.days.len());
+    let check = |label: &str, got: &[DayEvaluation]| {
+        for (s, g) in sequential.iter().zip(got) {
+            assert_eq!(s.day_index, g.day_index, "{label}: day order changed");
+            assert_eq!(s.day, g.day, "{label}: day stamps diverged");
+            assert_eq!(g.rows.len(), 16, "{label}: row count");
+            assert!(
+                same_results(&s.rows, &g.rows),
+                "{label}: rows diverged from sequential on day {} \
+                 (known_copying={use_known_copying}, shards={shards})",
+                s.day
+            );
+        }
+    };
+    check("parallel", &parallel.days);
+    check("batch", &batch.days);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random small collections (seed, scale, day count, shard count):
+    /// batch == parallel == sequential bit-identically on both copy paths.
+    #[test]
+    fn random_collections_agree_across_runners(
+        seed in 0u64..10_000,
+        scale in 0.004f64..0.012,
+        days in 0.05f64..0.25,
+        shards in 1usize..6,
+    ) {
+        let domain = generate(&stock_config(seed).scaled(scale, days));
+        prop_assert!(domain.collection.num_days() >= 1);
+        assert_three_way(&domain, false, shards);
+        assert_three_way(&domain, true, shards);
+    }
+}
+
+/// The acceptance fixtures: seeded Stock and Flight domains, both copy
+/// paths, through every runner. These are the exact domains the golden
+/// Table-7 suite (`tests/equivalence.rs`) pins, so a divergence here
+/// triangulates immediately.
+#[test]
+fn seeded_stock_fixture_agrees_across_runners() {
+    let stock = generate(&stock_config(2012).scaled(0.02, 0.1));
+    assert_three_way(&stock, false, 2);
+    assert_three_way(&stock, true, 2);
+}
+
+#[test]
+fn seeded_flight_fixture_agrees_across_runners() {
+    let flight = generate(&flight_config(2012).scaled(0.1, 0.06));
+    assert_three_way(&flight, false, 3);
+    assert_three_way(&flight, true, 3);
+}
+
+/// Shard-boundary regressions: a single day, more shards than days, and a
+/// day count that does not divide evenly — every plan must reproduce the
+/// sequential rows in order.
+#[test]
+fn shard_boundaries_never_reorder_or_drop_rows() {
+    let domain = generate(&stock_config(77).scaled(0.008, 0.25));
+    let num_days = domain.collection.num_days();
+    assert!(num_days >= 2, "fixture needs a multi-day collection");
+
+    // One day only.
+    let one_day = vec![domain.collection.reference_day_index()];
+    let sequential = evaluate_days_sequential(&domain.collection, &one_day, false);
+    for shards in [1usize, 4] {
+        let batch = BatchRunner::new()
+            .with_num_shards(shards)
+            .evaluate_days(&domain.collection, &one_day);
+        assert_eq!(batch.days.len(), 1);
+        assert_eq!(batch.num_shards, 1, "a single day can only form one shard");
+        assert!(same_results(&sequential[0].rows, &batch.days[0].rows));
+    }
+
+    // Days < shards, and days % shards != 0.
+    let all: Vec<usize> = (0..num_days).collect();
+    let sequential = evaluate_days_sequential(&domain.collection, &all, false);
+    for shards in [num_days + 5, num_days.saturating_sub(1).max(1), 3] {
+        let batch = BatchRunner::new()
+            .with_num_shards(shards)
+            .evaluate_days(&domain.collection, &all);
+        assert_eq!(batch.days.len(), num_days);
+        assert!(batch.num_shards <= num_days.min(shards.max(1)));
+        for (s, b) in sequential.iter().zip(&batch.days) {
+            assert_eq!(s.day_index, b.day_index);
+            assert!(same_results(&s.rows, &b.rows), "shards={shards}");
+        }
+    }
+}
+
+/// A subset selection (not starting at day 0, out-of-order-free but sparse)
+/// keeps request order, exactly like the parallel runner.
+#[test]
+fn sparse_day_selections_keep_request_order() {
+    let domain = generate(&stock_config(78).scaled(0.008, 0.3));
+    let num_days = domain.collection.num_days();
+    assert!(num_days >= 3);
+    let selection = vec![num_days - 1, 0, num_days / 2];
+    let sequential = evaluate_days_sequential(&domain.collection, &selection, false);
+    let batch = BatchRunner::new()
+        .with_num_shards(2)
+        .evaluate_days(&domain.collection, &selection);
+    assert_eq!(batch.days.len(), selection.len());
+    for (s, b) in sequential.iter().zip(&batch.days) {
+        assert_eq!(s.day_index, b.day_index);
+        assert_eq!(s.day, b.day);
+        assert!(same_results(&s.rows, &b.rows));
+    }
+}

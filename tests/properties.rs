@@ -213,6 +213,89 @@ proptest! {
         }
     }
 
+    /// A warm `Bucketer` (the arena's allocation-free bucketing path)
+    /// produces exactly the buckets `Snapshot::buckets` produces, item after
+    /// item, across differently-shaped snapshots.
+    #[test]
+    fn warm_bucketing_matches_cold_bucketing(
+        first in prop::collection::vec(10.0f64..1000.0, 1..30),
+        second in prop::collection::vec(1.0f64..100.0, 1..10),
+    ) {
+        let snapshots = [snapshot_from_values(&first), snapshot_from_values(&second)];
+        let mut bucketer = datamodel::Bucketer::new();
+        let mut out = Vec::new();
+        for snapshot in &snapshots {
+            for (item, _) in snapshot.items() {
+                snapshot.buckets_into(*item, &mut bucketer, &mut out);
+                prop_assert_eq!(&out, &snapshot.buckets(*item));
+            }
+        }
+    }
+
+    /// A warm [`evaluation::ShardArena`] refill equals a fresh
+    /// `FusionProblem::from_snapshot` — same CSR arrays, same offset tables,
+    /// same claim order (`FusionProblem` equality compares all of them) —
+    /// across consecutive differently-shaped snapshots, including the
+    /// empty-day and single-source edge cases. This is the invariant that
+    /// makes the batch runner bit-identical to the cold runners.
+    #[test]
+    fn arena_refill_equals_fresh_preparation(
+        first in prop::collection::vec(10.0f64..1000.0, 2..20),
+        second in prop::collection::vec(10.0f64..1000.0, 1..8),
+        third in prop::collection::vec(1.0f64..50.0, 1..2),
+    ) {
+        // Differently-shaped days: a wide snapshot, a narrower one, a
+        // single-source one, and an empty one, refilled into ONE arena in
+        // sequence (each shape both follows and precedes a different shape).
+        let wide = snapshot_from_values(&first);
+        let narrow = snapshot_from_values(&second);
+        let single_source = snapshot_from_values(&third);
+        let empty = snapshot_from_values(&[]);
+
+        let mut arena = evaluation::ShardArena::new();
+        for snapshot in [&wide, &empty, &narrow, &single_source, &wide, &empty] {
+            let warm = arena.prepare(snapshot);
+            let fresh = FusionProblem::from_snapshot(snapshot);
+            prop_assert_eq!(warm, &fresh);
+            prop_assert_eq!(warm.num_items(), fresh.num_items());
+            prop_assert_eq!(warm.num_claims(), fresh.num_claims());
+        }
+        // The empty day prepares to a consistent zero-item problem.
+        let empty_problem = arena.prepare(&empty);
+        prop_assert_eq!(empty_problem.num_items(), 0);
+        prop_assert_eq!(empty_problem.num_candidates(), 0);
+        // And a single-source day round-trips its one claim list.
+        let single_problem = arena.prepare(&single_source);
+        prop_assert_eq!(single_problem.num_sources(), third.len());
+        prop_assert_eq!(
+            single_problem.claims_by_source().map(<[_]>::len).sum::<usize>(),
+            single_problem.num_claims()
+        );
+    }
+
+    /// Running any method through a warm arena (shared scratch, refilled
+    /// problem) gives the same selection, trust, and round count as a cold
+    /// run on a fresh problem — scratch reuse is stateless.
+    #[test]
+    fn warm_arena_runs_equal_cold_runs(
+        first in prop::collection::vec(10.0f64..1000.0, 3..15),
+        second in prop::collection::vec(10.0f64..1000.0, 2..10),
+    ) {
+        let snapshots = [snapshot_from_values(&first), snapshot_from_values(&second)];
+        let mut arena = evaluation::ShardArena::new();
+        for snapshot in &snapshots {
+            arena.prepare(snapshot);
+            let cold_problem = FusionProblem::from_snapshot(snapshot);
+            for (_, method) in all_methods() {
+                let warm = arena.run(method.as_ref(), &FusionOptions::standard());
+                let cold = method.run(&cold_problem, &FusionOptions::standard());
+                prop_assert_eq!(&warm.selection, &cold.selection);
+                prop_assert_eq!(&warm.trust.overall, &cold.trust.overall);
+                prop_assert_eq!(warm.rounds, cold.rounds);
+            }
+        }
+    }
+
     /// Every fusion method selects, for every item, one of the values that
     /// was actually provided (no invented values), and its trust estimates
     /// are finite.
