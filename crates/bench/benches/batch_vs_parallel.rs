@@ -10,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::{generate, stock_config};
 use evaluation::{evaluate_days_sequential, same_results, BatchRunner, ParallelRunner, ShardArena};
+use fusion::kernels::{self, Backend};
 use fusion::FusionProblem;
 
 fn bench_batch_vs_parallel(c: &mut Criterion) {
@@ -39,6 +40,25 @@ fn bench_batch_vs_parallel(c: &mut Criterion) {
     group.bench_function("batch_multi_day", |b| {
         let runner = BatchRunner::new();
         b.iter(|| runner.evaluate_days(&stock.collection, &day_indices))
+    });
+    // End-to-end kernel comparison: the same batch evaluation with the
+    // dispatched SIMD kernels vs the scalar fallback pinned — the
+    // whole-pipeline view of the ISSUE-6 keep/drop gate (`vote_plane` has
+    // the per-kernel view).
+    let dispatched = kernels::backend();
+    group.bench_function(
+        format!("batch_multi_day/kernel_{}", kernels::backend_name()),
+        |b| {
+            kernels::force_backend(dispatched);
+            let runner = BatchRunner::new();
+            b.iter(|| runner.evaluate_days(&stock.collection, &day_indices))
+        },
+    );
+    group.bench_function("batch_multi_day/kernel_scalar", |b| {
+        kernels::force_backend(Backend::Scalar);
+        let runner = BatchRunner::new();
+        b.iter(|| runner.evaluate_days(&stock.collection, &day_indices));
+        kernels::force_backend(dispatched);
     });
     group.finish();
 }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! exp_<name> [--scale S] [--days D] [--seed N] [--compare FILE]
-//!            [--batch] [--fail-on-regression PCT]
+//!            [--batch] [--repeats N] [--fail-on-regression PCT]
 //! ```
 //!
 //! * `--scale` multiplies the number of objects (default 0.25 — a quarter of
@@ -20,6 +20,10 @@
 //!   additionally runs the sharded warm-arena `BatchRunner` on the same
 //!   day selection, asserts its rows equal the sequential/parallel passes,
 //!   and reports wall-vs-wall speedup plus heap-allocation counts;
+//! * `--repeats` (read by `exp_fig12_efficiency`) repeats the timed
+//!   sequential pass N times (default 3) and reports the per-method
+//!   **median**, which suppresses one-off scheduler noise on shared or
+//!   single-core machines;
 //! * `--fail-on-regression PCT` (with `--compare`) exits with a non-zero
 //!   status when any per-method timing regressed by more than `PCT` percent
 //!   against the baseline artifact — the CI-facing form of the trajectory
@@ -42,6 +46,9 @@ pub struct ExpArgs {
     /// Also run the sharded warm-arena batch runner and report its
     /// wall-vs-wall speedup and allocation counts (`--batch`).
     pub batch: bool,
+    /// Number of timed repeats of the sequential pass; per-method timings
+    /// are the **median** across repeats (`--repeats N`, default 3).
+    pub repeats: usize,
     /// With `--compare`: exit non-zero when any per-method timing regressed
     /// by more than this many percent (`--fail-on-regression PCT`).
     pub fail_on_regression: Option<f64>,
@@ -59,6 +66,7 @@ impl Default for ExpArgs {
             seed: 2012,
             compare: None,
             batch: false,
+            repeats: 3,
             fail_on_regression: None,
             fail_on_regression_invalid: false,
         }
@@ -110,6 +118,12 @@ impl ExpArgs {
                 },
                 "--batch" => {
                     parsed.batch = true;
+                }
+                "--repeats" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                        parsed.repeats = v.max(1);
+                        i += 1;
+                    }
                 }
                 "--fail-on-regression" => {
                     match args.get(i + 1).map(|s| s.parse::<f64>()) {
@@ -197,6 +211,19 @@ mod tests {
         assert!(!defaults.batch);
         assert_eq!(defaults.fail_on_regression, None);
         assert!(!defaults.fail_on_regression_invalid);
+    }
+
+    /// `--repeats` defaults to 3 medians-worth of passes, parses an explicit
+    /// count, and clamps 0 to 1 (a zero-repeat run would report nothing).
+    #[test]
+    fn repeats_flag_parses_and_clamps() {
+        assert_eq!(ExpArgs::from_args(&args_of(&[])).repeats, 3);
+        assert_eq!(ExpArgs::from_args(&args_of(&["--repeats", "5"])).repeats, 5);
+        assert_eq!(ExpArgs::from_args(&args_of(&["--repeats", "0"])).repeats, 1);
+        // Malformed count keeps the default and does not swallow a flag.
+        let bad = ExpArgs::from_args(&args_of(&["--repeats", "--batch"]));
+        assert_eq!(bad.repeats, 3);
+        assert!(bad.batch);
     }
 
     /// The regression gate must fail **closed**: a malformed or missing PCT

@@ -194,6 +194,9 @@ pub struct BatchEvaluation {
     pub num_shards: usize,
     /// Worker threads available to the fan-out.
     pub threads: usize,
+    /// Fusion kernel backend the run dispatched to (`"avx2+fma"` /
+    /// `"scalar"`); see [`crate::ParallelEvaluation::kernel_backend`].
+    pub kernel_backend: String,
 }
 
 impl BatchRunner {
@@ -280,6 +283,7 @@ impl BatchRunner {
             total_shard_time,
             num_shards,
             threads: rayon::current_num_threads(),
+            kernel_backend: fusion::kernels::backend_name().to_string(),
         }
     }
 }

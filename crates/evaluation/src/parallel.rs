@@ -63,6 +63,10 @@ pub struct ParallelEvaluation {
     pub total_method_time: Duration,
     /// Worker threads the fan-out ran on.
     pub threads: usize,
+    /// Fusion kernel backend the run dispatched to (`"avx2+fma"` /
+    /// `"scalar"`), recorded so timing evidence from machines with
+    /// different vector units is never compared as like-for-like.
+    pub kernel_backend: String,
 }
 
 impl ParallelEvaluation {
@@ -200,6 +204,7 @@ impl ParallelRunner {
             wall_clock: start.elapsed(),
             total_method_time,
             threads: rayon::current_num_threads(),
+            kernel_backend: fusion::kernels::backend_name().to_string(),
         }
     }
 
@@ -294,6 +299,11 @@ mod tests {
         assert!(report.threads >= 1);
         assert!(report.total_method_time >= Duration::ZERO);
         assert!(report.speedup() > 0.0);
+        assert!(
+            report.kernel_backend == "avx2+fma" || report.kernel_backend == "scalar",
+            "unexpected kernel backend {:?}",
+            report.kernel_backend
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod copymatrix;
+pub mod kernels;
 pub mod methods;
 pub mod problem;
 pub mod registry;

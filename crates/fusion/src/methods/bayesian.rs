@@ -16,6 +16,7 @@
 //! ACCUFORMAT adds formatting (granularity subsumption), and the `*ATTR`
 //! variants maintain one trustworthiness per (source, attribute).
 
+use crate::kernels;
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::{FusionProblem, PreparedItem};
 use crate::types::{
@@ -315,15 +316,20 @@ pub(crate) fn update_trust_from_scores(
     // layout of [`AttrTrust`].
     acc.reset(problem.num_sources(), num_attrs, per_attr);
     for (s, claims) in problem.claims_by_source().enumerate() {
-        for &(i, c) in claims {
-            let score = scores.get(i as usize, c as usize);
-            acc.overall_sum[s] += score;
-            acc.overall_count[s] += 1;
-            if per_attr {
-                let a = problem.item_attr(i as usize);
-                acc.attr_sum[s * num_attrs + a] += score;
-                acc.attr_count[s * num_attrs + a] += 1;
-            }
+        acc.overall_count[s] = claims.len();
+        if per_attr {
+            let row = s * num_attrs..(s + 1) * num_attrs;
+            acc.overall_sum[s] = kernels::sum_claim_scores_per_attr(
+                claims,
+                scores.offsets(),
+                scores.values(),
+                problem.item_attrs_flat(),
+                &mut acc.attr_sum[row.clone()],
+                &mut acc.attr_count[row],
+            );
+        } else {
+            acc.overall_sum[s] =
+                kernels::sum_claim_scores(claims, scores.offsets(), scores.values());
         }
     }
     for s in 0..problem.num_sources() {

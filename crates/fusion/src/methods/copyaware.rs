@@ -32,6 +32,7 @@
 //!   the increments (two `ln` calls) per shared item.
 
 use crate::copymatrix::{triangular_slot, CopyMatrix};
+use crate::kernels;
 use crate::methods::bayesian::{clamp_trust, softmax_into, update_trust_from_scores, Accu};
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
@@ -342,25 +343,18 @@ impl CoClaims {
                 - p_same_false.max(1e-12).ln();
             let llr_diff = ((1.0 - c) * p_diff).max(1e-12).ln() - p_diff.max(1e-12).ln();
 
-            let mut llr = 0.0;
+            // Sharing the selected (presumed true) value is treated as
+            // neutral: accurate independent sources agree on most items, so
+            // counting agreement as evidence would flag every pair of good
+            // sources. Sharing a *false* value is the strong signal;
+            // disagreeing is evidence of independence (Dong et al.).
             let span = self.offsets[p] as usize..self.offsets[p + 1] as usize;
-            for &(item, ca, cb) in &self.entries[span] {
-                if ca == cb {
-                    // Sharing the selected (presumed true) value is treated as
-                    // neutral: accurate independent sources agree on most
-                    // items, so counting agreement as evidence would flag
-                    // every pair of good sources. Sharing a *false* value is
-                    // the strong signal (Dong et al.).
-                    let selected = selection.get(item as usize).copied().unwrap_or(0) as u32;
-                    if ca == selected {
-                        continue;
-                    }
-                    llr += llr_same_false;
-                } else {
-                    // Disagreeing is evidence of independence.
-                    llr += llr_diff;
-                }
-            }
+            let llr = kernels::accumulate_pair_llr(
+                &self.entries[span],
+                selection,
+                llr_same_false,
+                llr_diff,
+            );
             let logit = llr + prior_logit;
             out.set(a as usize, b as usize, 1.0 / (1.0 + (-logit).exp()));
         }

@@ -71,12 +71,16 @@ impl FusionMethod for Hub {
     ) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
+        let max_rounds = effective_rounds(options);
         let votes = &mut scratch.plane;
-        votes.reset_for(problem);
+        // Fused refill-accumulate: the plane is shaped for `problem` and
+        // filled with the first round's votes in one pass (no intermediate
+        // zero-fill); subsequent rounds re-accumulate at the loop tail only
+        // when another iteration actually runs.
+        votes.refill_accumulate(problem, &trust);
         let mut rounds = 0usize;
-        for _ in 0..effective_rounds(options) {
+        loop {
             rounds += 1;
-            votes.accumulate_weighted_votes(problem, &trust);
             normalize_by_max(votes.values_mut());
             let mut new_trust = vec![0.0; problem.num_sources()];
             for (s, claims) in problem.claims_by_source().enumerate() {
@@ -92,9 +96,10 @@ impl FusionMethod for Hub {
             };
             let change = new_estimate.max_change(&trust);
             trust = new_estimate;
-            if change < options.epsilon {
+            if change < options.epsilon || rounds >= max_rounds {
                 break;
             }
+            votes.accumulate_weighted_votes(problem, &trust);
         }
         let selection = argmax_selection(votes);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
@@ -114,12 +119,13 @@ impl FusionMethod for AvgLog {
     ) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
+        let max_rounds = effective_rounds(options);
         let votes = &mut scratch.plane;
-        votes.reset_for(problem);
+        // Same fused refill-accumulate structure as HUB above.
+        votes.refill_accumulate(problem, &trust);
         let mut rounds = 0usize;
-        for _ in 0..effective_rounds(options) {
+        loop {
             rounds += 1;
-            votes.accumulate_weighted_votes(problem, &trust);
             normalize_by_max(votes.values_mut());
             let mut new_trust = vec![0.0; problem.num_sources()];
             for (s, claims) in problem.claims_by_source().enumerate() {
@@ -140,9 +146,10 @@ impl FusionMethod for AvgLog {
             };
             let change = new_estimate.max_change(&trust);
             trust = new_estimate;
-            if change < options.epsilon {
+            if change < options.epsilon || rounds >= max_rounds {
                 break;
             }
+            votes.accumulate_weighted_votes(problem, &trust);
         }
         let selection = argmax_selection(votes);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)

@@ -64,6 +64,10 @@ pub struct FusionProblem {
     /// Representative value per global candidate, ordered by descending
     /// support within each item (the first candidate is the dominant value).
     cand_values: Vec<Value>,
+    /// Dense attribute index per global candidate (the item's attribute,
+    /// repeated over its candidates) — the column selector the per-attribute
+    /// vote kernels gather with.
+    cand_attrs: Vec<u32>,
     /// Provider extent per global candidate (`num_candidates + 1` offsets).
     provider_offsets: Vec<u32>,
     /// Dense source indices providing each candidate, flattened.
@@ -296,6 +300,7 @@ impl ProblemBuilder {
         p.item_cand_offsets.clear();
         p.item_cand_offsets.push(0);
         p.cand_values.clear();
+        p.cand_attrs.clear();
         p.provider_offsets.clear();
         p.provider_offsets.push(0);
         p.providers.clear();
@@ -344,6 +349,9 @@ impl ProblemBuilder {
                 }
                 p.provider_offsets.push(p.providers.len() as u32);
             }
+            // One attribute index per candidate just pushed.
+            p.cand_attrs
+                .resize(p.cand_values.len(), item_id.attr.index() as u32);
 
             // Pairwise similarity and formatting subsumption between
             // candidates (all of this item's values are already in
@@ -406,6 +414,7 @@ impl Default for FusionProblem {
             item_attrs: Vec::new(),
             item_cand_offsets: vec![0],
             cand_values: Vec::new(),
+            cand_attrs: Vec::new(),
             provider_offsets: vec![0],
             providers: Vec::new(),
             similar_offsets: vec![0],
@@ -500,6 +509,36 @@ impl FusionProblem {
     #[inline]
     pub fn item_cand_offsets(&self) -> &[u32] {
         &self.item_cand_offsets
+    }
+
+    /// Dense attribute index per global candidate (`num_candidates` entries:
+    /// the owning item's attribute, repeated). Raw CSR table for the
+    /// kernel-level consumers (SIMD kernels, benches, tests).
+    #[inline]
+    pub fn cand_attrs(&self) -> &[u32] {
+        &self.cand_attrs
+    }
+
+    /// Provider extent per global candidate (`num_candidates + 1` offsets).
+    /// Raw CSR table for the kernel-level consumers.
+    #[inline]
+    pub fn provider_offsets(&self) -> &[u32] {
+        &self.provider_offsets
+    }
+
+    /// Flat dense source indices providing each candidate, indexed by
+    /// [`provider_offsets`](Self::provider_offsets). Raw CSR table for the
+    /// kernel-level consumers.
+    #[inline]
+    pub fn providers_flat(&self) -> &[u32] {
+        &self.providers
+    }
+
+    /// Dense attribute index per item (`num_items` entries). Raw table for
+    /// the kernel-level consumers.
+    #[inline]
+    pub fn item_attrs_flat(&self) -> &[u32] {
+        &self.item_attrs
     }
 
     /// Dense index of a source id, if it is part of the problem (O(1)).

@@ -2,6 +2,7 @@
 //! methods.
 
 use crate::copymatrix::CopyMatrix;
+use crate::kernels;
 use crate::problem::FusionProblem;
 use datamodel::{ItemId, Value};
 use std::collections::BTreeMap;
@@ -271,6 +272,14 @@ impl VotePlane {
         &self.values
     }
 
+    /// The item → candidate offset table (`num_items + 1` entries), shared
+    /// layout with [`FusionProblem::item_cand_offsets`]. Exposed for the
+    /// kernel-level consumers (SIMD kernels, benches, tests).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
     /// Mutable access to all values, item-major.
     #[inline]
     pub fn values_mut(&mut self) -> &mut [f64] {
@@ -285,39 +294,48 @@ impl VotePlane {
     /// Accumulate trust-weighted vote counts over `problem`:
     /// `votes[item][candidate] = Σ_{s ∈ providers} trust(s, attr(item))`.
     /// Every slot is overwritten; the plane layout must match `problem`.
+    /// Dispatches to the SIMD kernels of [`crate::kernels`].
     pub fn accumulate_weighted_votes(&mut self, problem: &FusionProblem, trust: &TrustEstimate) {
         debug_assert_eq!(self.num_items(), problem.num_items());
-        for (i, item) in problem.items().enumerate() {
-            let attr = item.attr();
-            let out = &mut self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize];
-            for (slot, cand) in out.iter_mut().zip(item.candidates()) {
-                *slot = cand
-                    .providers()
-                    .iter()
-                    .map(|&s| trust.of(s as usize, attr))
-                    .sum();
-            }
-        }
+        let view = match &trust.per_attr {
+            Some(pa) => kernels::TrustView::PerAttr {
+                values: pa.values(),
+                num_attrs: pa.num_attrs(),
+                cand_attrs: problem.cand_attrs(),
+            },
+            None => kernels::TrustView::Overall(&trust.overall),
+        };
+        kernels::accumulate_weighted_votes(
+            &mut self.values,
+            problem.provider_offsets(),
+            problem.providers_flat(),
+            &view,
+        );
+    }
+
+    /// Combined [`reset_for`](Self::reset_for) + first
+    /// [`accumulate_weighted_votes`](Self::accumulate_weighted_votes): the
+    /// plane is re-shaped for `problem` and every slot is overwritten with
+    /// the trust-weighted votes in one pass, skipping the intermediate
+    /// zero-fill — so the warm batch path touches each vote cache line once
+    /// per shard-day instead of twice. Produces exactly the plane that
+    /// `reset_for` followed by `accumulate_weighted_votes` would.
+    pub fn refill_accumulate(&mut self, problem: &FusionProblem, trust: &TrustEstimate) {
+        self.offsets.clear();
+        self.offsets.extend_from_slice(problem.item_cand_offsets());
+        // Reshape without the zero-fill `reset_for` pays: `resize` only
+        // writes the grown tail (truncation is free), and the accumulate
+        // kernel overwrites every slot.
+        self.values.resize(problem.num_candidates(), 0.0);
+        self.accumulate_weighted_votes(problem, trust);
     }
 
     /// Select, for every item, the candidate with the highest vote, writing
     /// into `selection` (allocation reused). Ties go to the lower candidate
     /// index (the better-supported bucket), which keeps the output
-    /// deterministic.
+    /// deterministic. Dispatches to the SIMD kernels of [`crate::kernels`].
     pub fn argmax_into(&self, selection: &mut Vec<usize>) {
-        selection.clear();
-        selection.extend(self.offsets.windows(2).map(|w| {
-            let item_votes = &self.values[w[0] as usize..w[1] as usize];
-            let mut best = 0usize;
-            let mut best_vote = f64::NEG_INFINITY;
-            for (i, &v) in item_votes.iter().enumerate() {
-                if v > best_vote + 1e-12 {
-                    best = i;
-                    best_vote = v;
-                }
-            }
-            best
-        }));
+        kernels::argmax_into(&self.offsets, &self.values, selection);
     }
 }
 
@@ -468,27 +486,16 @@ impl FusionResult {
 
 /// Normalize a slice in place by its maximum (no-op when the maximum is not
 /// positive). Used by the web-link methods to prevent unbounded growth.
+/// Dispatches to the SIMD kernels of [`crate::kernels`].
 pub fn normalize_by_max(xs: &mut [f64]) {
-    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if max > 0.0 {
-        for x in xs.iter_mut() {
-            *x /= max;
-        }
-    }
+    kernels::normalize_by_max(xs);
 }
 
 /// Affine rescaling of a slice to `[0, 1]` (the normalization 2-ESTIMATES and
-/// 3-ESTIMATES require). Constant slices map to 0.5.
+/// 3-ESTIMATES require). Constant slices map to 0.5. Dispatches to the SIMD
+/// kernels of [`crate::kernels`].
 pub fn rescale_to_unit(xs: &mut [f64]) {
-    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if !min.is_finite() || !max.is_finite() {
-        return;
-    }
-    let range = max - min;
-    for x in xs.iter_mut() {
-        *x = if range > 1e-12 { (*x - min) / range } else { 0.5 };
-    }
+    kernels::rescale_to_unit(xs);
 }
 
 #[cfg(test)]
