@@ -17,8 +17,14 @@
 //!
 //! The `argmax` bench covers the per-round selection walk over the same
 //! offsets.
+//!
+//! The `vote_plane_long_rows` group re-runs the CSR-walk gate on the
+//! `scale10_capacity` scenario world (80 high-coverage sources, ~75-provider
+//! rows vs the base Stock's ~40) — the ROADMAP asks whether longer provider
+//! rows flip the PR-6 verdict that dropped the gather-based lock-step
+//! kernels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, Criterion};
 use datagen::{generate, stock_config};
 use fusion::kernels::{self, Backend};
 use fusion::{FusionProblem, TrustEstimate, VotePlane};
@@ -62,11 +68,8 @@ fn autovec_argmax(offsets: &[u32], values: &[f64], selection: &mut Vec<usize>) {
     }));
 }
 
-fn bench_vote_plane(c: &mut Criterion) {
-    let stock = generate(&stock_config(2012).scaled(0.25, 0.1));
-    let problem = FusionProblem::from_snapshot(stock.reference_snapshot());
-
-    // Non-uniform trust so the gather reads realistic values.
+/// Non-uniform trust estimates so the gathers read realistic values.
+fn make_trusts(problem: &FusionProblem) -> (TrustEstimate, TrustEstimate) {
     let mut overall = TrustEstimate::uniform(problem.num_sources(), problem.num_attrs, 0.8, false);
     for (s, t) in overall.overall.iter_mut().enumerate() {
         *t = 0.5 + 0.4 * ((s % 7) as f64 / 7.0);
@@ -79,26 +82,34 @@ fn bench_vote_plane(c: &mut Criterion) {
             }
         }
     }
+    (overall, per_attr)
+}
 
+/// The three-way CSR-walk gate (dispatched kernel vs pinned scalar vs
+/// autovectorized pre-kernel loop) over one prepared problem: the
+/// trust-weighted accumulation in both trust layouts, the argmax selection,
+/// and the per-source claim-score sums.
+fn csr_walk_benches(group: &mut BenchmarkGroup<'_>, problem: &FusionProblem) {
+    let (overall, per_attr) = make_trusts(problem);
     let dispatched = kernels::backend();
-    let mut group = c.benchmark_group("vote_plane");
+
     for (trust, label) in [(&overall, "overall_trust"), (&per_attr, "per_attribute_trust")] {
         group.bench_function(
             format!("weighted_votes_{label}/kernel_{}", kernels::backend_name()),
             |b| {
                 kernels::force_backend(dispatched);
-                let mut plane = VotePlane::for_problem(&problem);
+                let mut plane = VotePlane::for_problem(problem);
                 b.iter(|| {
-                    plane.accumulate_weighted_votes(&problem, trust);
+                    plane.accumulate_weighted_votes(problem, trust);
                     plane.values().iter().sum::<f64>()
                 })
             },
         );
         group.bench_function(format!("weighted_votes_{label}/kernel_scalar"), |b| {
             kernels::force_backend(Backend::Scalar);
-            let mut plane = VotePlane::for_problem(&problem);
+            let mut plane = VotePlane::for_problem(problem);
             b.iter(|| {
-                plane.accumulate_weighted_votes(&problem, trust);
+                plane.accumulate_weighted_votes(problem, trust);
                 plane.values().iter().sum::<f64>()
             });
             kernels::force_backend(dispatched);
@@ -107,14 +118,14 @@ fn bench_vote_plane(c: &mut Criterion) {
             let mut values = vec![0.0; problem.num_candidates()];
             let offsets = problem.item_cand_offsets().to_vec();
             b.iter(|| {
-                autovec_accumulate(&mut values, &offsets, &problem, trust);
+                autovec_accumulate(&mut values, &offsets, problem, trust);
                 values.iter().sum::<f64>()
             })
         });
     }
 
-    let mut plane = VotePlane::for_problem(&problem);
-    plane.accumulate_weighted_votes(&problem, &overall);
+    let mut plane = VotePlane::for_problem(problem);
+    plane.accumulate_weighted_votes(problem, &overall);
     group.bench_function(
         format!("argmax_selection_into/kernel_{}", kernels::backend_name()),
         |b| {
@@ -143,9 +154,59 @@ fn bench_vote_plane(c: &mut Criterion) {
         })
     });
 
+    let claims: Vec<Vec<(u32, u32)>> = problem
+        .claims_by_source()
+        .map(<[(u32, u32)]>::to_vec)
+        .collect();
+    group.bench_function(
+        format!("sum_claim_scores/kernel_{}", kernels::backend_name()),
+        |b| {
+            kernels::force_backend(dispatched);
+            b.iter(|| {
+                claims
+                    .iter()
+                    .map(|cl| kernels::sum_claim_scores(cl, plane.offsets(), plane.values()))
+                    .sum::<f64>()
+            })
+        },
+    );
+    group.bench_function("sum_claim_scores/kernel_scalar", |b| {
+        kernels::force_backend(Backend::Scalar);
+        b.iter(|| {
+            claims
+                .iter()
+                .map(|cl| kernels::sum_claim_scores(cl, plane.offsets(), plane.values()))
+                .sum::<f64>()
+        });
+        kernels::force_backend(dispatched);
+    });
+    group.bench_function("sum_claim_scores/autovec", |b| {
+        b.iter(|| {
+            claims
+                .iter()
+                .map(|cl| {
+                    cl.iter()
+                        .map(|&(i, c)| plane.get(i as usize, c as usize))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_vote_plane(c: &mut Criterion) {
+    let stock = generate(&stock_config(2012).scaled(0.25, 0.1));
+    let problem = FusionProblem::from_snapshot(stock.reference_snapshot());
+    let dispatched = kernels::backend();
+
+    let mut group = c.benchmark_group("vote_plane");
+    csr_walk_benches(&mut group, &problem);
+
     // Elementwise rescalers over the full contiguous plane (the web-link /
-    // IR per-round normalization) and the per-source claim-score sums (the
-    // Bayesian trust update), kernel backends vs the pre-kernel loops.
+    // IR per-round normalization), kernel backends vs the pre-kernel loops.
+    let (overall, _) = make_trusts(&problem);
+    let mut plane = VotePlane::for_problem(&problem);
+    plane.accumulate_weighted_votes(&problem, &overall);
     let mut scratch = plane.values().to_vec();
     group.bench_function(
         format!("normalize_by_max/kernel_{}", kernels::backend_name()),
@@ -214,45 +275,6 @@ fn bench_vote_plane(c: &mut Criterion) {
         })
     });
 
-    let claims: Vec<Vec<(u32, u32)>> = problem
-        .claims_by_source()
-        .map(<[(u32, u32)]>::to_vec)
-        .collect();
-    group.bench_function(
-        format!("sum_claim_scores/kernel_{}", kernels::backend_name()),
-        |b| {
-            kernels::force_backend(dispatched);
-            b.iter(|| {
-                claims
-                    .iter()
-                    .map(|cl| kernels::sum_claim_scores(cl, plane.offsets(), plane.values()))
-                    .sum::<f64>()
-            })
-        },
-    );
-    group.bench_function("sum_claim_scores/kernel_scalar", |b| {
-        kernels::force_backend(Backend::Scalar);
-        b.iter(|| {
-            claims
-                .iter()
-                .map(|cl| kernels::sum_claim_scores(cl, plane.offsets(), plane.values()))
-                .sum::<f64>()
-        });
-        kernels::force_backend(dispatched);
-    });
-    group.bench_function("sum_claim_scores/autovec", |b| {
-        b.iter(|| {
-            claims
-                .iter()
-                .map(|cl| {
-                    cl.iter()
-                        .map(|&(i, c)| plane.get(i as usize, c as usize))
-                        .sum::<f64>()
-                })
-                .sum::<f64>()
-        })
-    });
-
     // The copy-detection LLR accumulation over synthetic co-claim entries
     // shaped like a dense source pair (branchless SIMD compare/blend vs the
     // branchy scalar loop).
@@ -275,9 +297,27 @@ fn bench_vote_plane(c: &mut Criterion) {
     group.finish();
 }
 
+/// The long-row re-run of the CSR-walk gate: the `scale10_capacity` scenario
+/// at object scale 1.0 (16k items/day, 80 sources, near-full coverage) — the
+/// provider rows the ROADMAP asked about.
+fn bench_vote_plane_long_rows(c: &mut Criterion) {
+    let world = bench::long_row_scenario(1.0).build();
+    let problem = FusionProblem::from_snapshot(world.domain.reference_snapshot());
+    let providers: usize = problem.claims_by_source().map(<[_]>::len).sum();
+    eprintln!(
+        "[vote_plane_long_rows] {} items, {} sources, {:.1} providers/item",
+        problem.num_items(),
+        problem.num_sources(),
+        providers as f64 / problem.num_items() as f64,
+    );
+    let mut group = c.benchmark_group("vote_plane_long_rows");
+    csr_walk_benches(&mut group, &problem);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_vote_plane
+    targets = bench_vote_plane, bench_vote_plane_long_rows
 }
 criterion_main!(benches);

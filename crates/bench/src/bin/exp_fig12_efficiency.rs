@@ -12,7 +12,9 @@
 //! core contention; the sequential pass is repeated `--repeats` times
 //! (default 3) and each per-method timing is the **median** across repeats,
 //! so a one-off scheduler stall cannot masquerade as a perf regression in
-//! the trajectory artifact. The trailing summary reports the measured
+//! the trajectory artifact; context preparation is hoisted out of the repeat
+//! loop (built once, timed separately, added to the reported sequential
+//! wall), so large worlds are not re-prepared N times. The trailing summary reports the measured
 //! wall-clock speedup of the fan-out over the sequential pass — the gain a
 //! multi-core evaluation pipeline gets over the paper's sequential
 //! measurement loop — unless only one thread is available, in which case
@@ -27,7 +29,10 @@
 
 use bench::{ExpArgs, Json, Table};
 use datagen::GeneratedDomain;
-use evaluation::{evaluate_days_sequential, same_results, BatchRunner, ParallelRunner};
+use evaluation::{
+    evaluate_days_sequential, evaluate_prepared_sequential, prepare_contexts, same_results,
+    BatchRunner, ParallelRunner,
+};
 use std::time::{Duration, Instant};
 
 // Count every heap allocation so the `--batch` mode can report how much
@@ -62,21 +67,37 @@ fn report(domain: &GeneratedDomain, batch_mode: bool, repeats: usize) -> Json {
     // the fan-out's favor.
     let _ = evaluate_days_sequential(&domain.collection, &day_indices[..1], false);
 
+    // Context preparation (FusionProblem build + trust sampling) is paid
+    // ONCE, outside the repeat loop: every repeat of the old
+    // `evaluate_days_sequential` call re-seeded the identical preparation
+    // inside the timed region, so on scale-10 scenario worlds `--repeats N`
+    // rebuilt the same contexts N times. The preparation wall is measured
+    // separately and added to the median evaluation wall below, keeping the
+    // reported sequential wall comparable with the single parallel pass
+    // (whose wall includes its own preparation).
+    let allocs_before_prep = profiling::allocation_count();
+    let prep_start = Instant::now();
+    let contexts = prepare_contexts(&domain.collection, &day_indices, false);
+    let prep_wall = prep_start.elapsed();
+    let prep_allocs = profiling::allocation_count() - allocs_before_prep;
+
     // Timed sequential pass, `repeats` times. Fusion is deterministic, so
     // the repeats differ only in timing (asserted below); the reported
     // per-method elapsed and sequential wall-clock are medians across the
-    // repeats. Allocation traffic is counted on the first repeat only, to
-    // stay comparable with the single parallel/batch passes.
+    // repeats. Allocation traffic is counted on the first repeat only (plus
+    // the one-time preparation), to stay comparable with the single
+    // parallel/batch passes.
     let mut walls: Vec<Duration> = Vec::with_capacity(repeats);
     let mut runs = Vec::with_capacity(repeats);
     let mut sequential_allocs = 0u64;
     for rep in 0..repeats {
         let allocs_before_sequential = profiling::allocation_count();
         let sequential_start = Instant::now();
-        runs.push(evaluate_days_sequential(&domain.collection, &day_indices, false));
+        runs.push(evaluate_prepared_sequential(&contexts));
         walls.push(sequential_start.elapsed());
         if rep == 0 {
-            sequential_allocs = profiling::allocation_count() - allocs_before_sequential;
+            sequential_allocs =
+                prep_allocs + profiling::allocation_count() - allocs_before_sequential;
         }
     }
     let mut sequential = runs.pop().expect("--repeats is clamped to at least 1");
@@ -97,7 +118,7 @@ fn report(domain: &GeneratedDomain, batch_mode: bool, repeats: usize) -> Json {
             row.elapsed = median_duration(&mut samples);
         }
     }
-    let sequential_wall = median_duration(&mut walls);
+    let sequential_wall = prep_wall + median_duration(&mut walls);
 
     let allocs_before_parallel = profiling::allocation_count();
     let evaluation = ParallelRunner::new().evaluate_days(&domain.collection, &day_indices);

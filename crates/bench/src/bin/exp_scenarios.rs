@@ -1,0 +1,116 @@
+//! Adversarial & heavy-tail scenario suite — golden-metrics tables.
+//!
+//! Every named scenario (`datagen::scenario`) builds a deterministic seeded
+//! world and renders one golden-metrics table: per-method precision against
+//! the generator truth plus the copy-detection hit/false-positive rates
+//! against the planted copy edges. Modes:
+//!
+//! * default — print every table (honouring `--scenario`, `--scale`,
+//!   `--days`, `--seed` overrides for exploration);
+//! * `--check` — compare each table bit-for-bit against the checked-in file
+//!   under `--golden-dir` (default `tests/golden`) and exit 1 on any diff —
+//!   the regression-gate form CI runs;
+//! * `--bless` — rewrite the checked-in files from this run (after an
+//!   intentional behaviour change; the diff then shows up in review).
+//!
+//! `--check`/`--bless` refuse explicit `--seed`/`--scale`/`--days`
+//! overrides: golden tables are only meaningful at the golden seed and the
+//! scenarios' CI-sized default scales.
+
+use bench::ExpArgs;
+use datagen::scenario::SCENARIO_NAMES;
+use evaluation::{evaluate_scenario_day, render_golden_table};
+use std::path::Path;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let golden_mode = args.check || args.bless;
+    if args.check && args.bless {
+        eprintln!("FAIL: --check and --bless are mutually exclusive");
+        std::process::exit(2);
+    }
+    if golden_mode && args.scale_overridden() {
+        eprintln!(
+            "FAIL: --check/--bless run at the golden seed and scale; \
+             drop --seed/--scale/--days"
+        );
+        std::process::exit(2);
+    }
+
+    let names: Vec<&str> = match &args.scenario {
+        Some(name) => match SCENARIO_NAMES.iter().find(|n| **n == name.as_str()) {
+            Some(n) => vec![*n],
+            None => {
+                eprintln!(
+                    "FAIL: unknown scenario {name:?}; known: {}",
+                    SCENARIO_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        None => SCENARIO_NAMES.to_vec(),
+    };
+
+    let mut diffs = 0usize;
+    for name in names {
+        let scenario = args
+            .scenario(name)
+            .expect("names are filtered against the registry");
+        let world = scenario.build();
+        let day = world.domain.collection.reference_day();
+        let outcome = evaluate_scenario_day(name, &day.snapshot, &day.truth, &world.true_edges);
+        let table = render_golden_table(&outcome);
+        let path = Path::new(&args.golden_dir).join(format!("{name}.txt"));
+
+        if args.bless {
+            if let Err(e) = std::fs::write(&path, &table) {
+                eprintln!("FAIL: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("Blessed {}", path.display());
+        } else if args.check {
+            match std::fs::read_to_string(&path) {
+                Ok(golden) if golden == table => {
+                    println!("OK {name}");
+                }
+                Ok(golden) => {
+                    diffs += 1;
+                    eprintln!("DIFF {name}: fresh run diverged from {}", path.display());
+                    for (line_no, (got, want)) in
+                        table.lines().zip(golden.lines()).enumerate()
+                    {
+                        if got != want {
+                            eprintln!("  line {}:", line_no + 1);
+                            eprintln!("    golden: {want}");
+                            eprintln!("    fresh:  {got}");
+                        }
+                    }
+                    if table.lines().count() != golden.lines().count() {
+                        eprintln!(
+                            "  line counts differ: golden {}, fresh {}",
+                            golden.lines().count(),
+                            table.lines().count()
+                        );
+                    }
+                }
+                Err(e) => {
+                    diffs += 1;
+                    eprintln!(
+                        "DIFF {name}: could not read {}: {e} (run --bless to create it)",
+                        path.display()
+                    );
+                }
+            }
+        } else {
+            println!("{table}");
+        }
+    }
+
+    if diffs > 0 {
+        eprintln!(
+            "\nFAIL: {diffs} scenario golden table(s) diverged. If the change is \
+             intentional, regenerate with: cargo run --release --bin exp_scenarios -- --bless"
+        );
+        std::process::exit(1);
+    }
+}

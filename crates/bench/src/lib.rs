@@ -14,4 +14,4 @@ pub use compare::{
 };
 pub use json::Json;
 pub use report::{format_percent, Table};
-pub use setup::{vs_paper, ExpArgs};
+pub use setup::{long_row_scenario, vs_paper, ExpArgs};

@@ -28,7 +28,17 @@
 //!   status when any per-method timing regressed by more than `PCT` percent
 //!   against the baseline artifact — the CI-facing form of the trajectory
 //!   diff, which otherwise only prints.
+//!
+//! `exp_scenarios` additionally reads:
+//!
+//! * `--scenario NAME` — run a single named stress scenario instead of all;
+//! * `--check` — compare each rendered golden table against the checked-in
+//!   file and exit non-zero on any diff (the regression-gate form);
+//! * `--bless` — rewrite the checked-in golden tables from this run;
+//! * `--golden-dir DIR` — where the golden tables live (default
+//!   `tests/golden`).
 
+use datagen::scenario::{by_name, Scenario};
 use datagen::{flight_config, generate, stock_config, GeneratedDomain};
 
 /// Parsed experiment arguments.
@@ -56,6 +66,26 @@ pub struct ExpArgs {
     /// The gate binaries must treat this as a hard error (fail **closed**) —
     /// silently skipping a CI gate on an operator typo defeats its purpose.
     pub fail_on_regression_invalid: bool,
+    /// Run only this named stress scenario (`--scenario NAME`,
+    /// `exp_scenarios`).
+    pub scenario: Option<String>,
+    /// Compare rendered golden tables against the checked-in files and exit
+    /// non-zero on any diff (`--check`, `exp_scenarios`).
+    pub check: bool,
+    /// Rewrite the checked-in golden tables (`--bless`, `exp_scenarios`).
+    pub bless: bool,
+    /// Directory holding the golden tables (`--golden-dir`, default
+    /// `tests/golden`).
+    pub golden_dir: String,
+    /// `--scale`/`--days`/`--seed` were passed explicitly (as opposed to
+    /// defaulted). `exp_scenarios` refuses explicit overrides in `--check`/
+    /// `--bless` mode — golden tables are only meaningful at the golden
+    /// seed and scale.
+    pub scale_explicit: bool,
+    /// `--days` was passed explicitly; see [`scale_explicit`](Self::scale_explicit).
+    pub days_explicit: bool,
+    /// `--seed` was passed explicitly; see [`scale_explicit`](Self::scale_explicit).
+    pub seed_explicit: bool,
 }
 
 impl Default for ExpArgs {
@@ -69,6 +99,13 @@ impl Default for ExpArgs {
             repeats: 3,
             fail_on_regression: None,
             fail_on_regression_invalid: false,
+            scenario: None,
+            check: false,
+            bless: false,
+            golden_dir: "tests/golden".to_string(),
+            scale_explicit: false,
+            days_explicit: false,
+            seed_explicit: false,
         }
     }
 }
@@ -90,18 +127,21 @@ impl ExpArgs {
                 "--scale" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         parsed.scale = v;
+                        parsed.scale_explicit = true;
                     }
                     i += 1;
                 }
                 "--days" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         parsed.days = v;
+                        parsed.days_explicit = true;
                     }
                     i += 1;
                 }
                 "--seed" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         parsed.seed = v;
+                        parsed.seed_explicit = true;
                     }
                     i += 1;
                 }
@@ -125,6 +165,29 @@ impl ExpArgs {
                         i += 1;
                     }
                 }
+                "--scenario" => match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        parsed.scenario = Some(v.clone());
+                        i += 1;
+                    }
+                    // Missing or flag-like value: leave unset, don't swallow
+                    // the following flag (exp_scenarios then runs all
+                    // scenarios, which is the safe default).
+                    _ => {}
+                },
+                "--check" => {
+                    parsed.check = true;
+                }
+                "--bless" => {
+                    parsed.bless = true;
+                }
+                "--golden-dir" => match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        parsed.golden_dir = v.clone();
+                        i += 1;
+                    }
+                    _ => {}
+                },
                 "--fail-on-regression" => {
                     match args.get(i + 1).map(|s| s.parse::<f64>()) {
                         Some(Ok(v)) if v.is_finite() => {
@@ -154,6 +217,30 @@ impl ExpArgs {
         generate(&flight_config(self.seed).scaled(self.scale, self.days))
     }
 
+    /// True when any of `--seed`/`--scale`/`--days` was passed explicitly
+    /// (the golden `--check`/`--bless` modes refuse overrides).
+    pub fn scale_overridden(&self) -> bool {
+        self.scale_explicit || self.days_explicit || self.seed_explicit
+    }
+
+    /// The named stress scenario, at its golden defaults or with the
+    /// explicitly passed overrides applied. For scenarios, `--scale` is the
+    /// object multiplier over the paper's 1000 objects (so `--scale 10`
+    /// reaches ~160k items/day) and `--days` is an **absolute** day count.
+    pub fn scenario(&self, name: &str) -> Option<Scenario> {
+        let mut scenario = by_name(name)?;
+        if self.seed_explicit {
+            scenario = scenario.with_seed(self.seed);
+        }
+        if self.scale_explicit {
+            scenario = scenario.scaled_to(self.scale);
+        }
+        if self.days_explicit {
+            scenario = scenario.over_days(self.days.round().max(1.0) as u32);
+        }
+        Some(scenario)
+    }
+
     /// Generate both domains and print a short banner.
     pub fn both_domains(&self, experiment: &str) -> (GeneratedDomain, GeneratedDomain) {
         println!(
@@ -167,6 +254,18 @@ impl ExpArgs {
 /// Format a `(measured, paper)` pair for the report tables.
 pub fn vs_paper(measured: f64, paper: f64) -> (String, String) {
     (format!("{measured:.3}"), format!("{paper:.3}"))
+}
+
+/// The long-row capacity world the `vote_plane` kernel gate re-runs on: the
+/// `scale10_capacity` scenario (extra high-coverage sources lengthen every
+/// item's provider row to ~75+ entries) at the given object scale over one
+/// day. At `scale = 10.0` this is the full ~160k-items/day workload; benches
+/// use a smaller scale to keep setup time sane.
+pub fn long_row_scenario(scale: f64) -> Scenario {
+    by_name("scale10_capacity")
+        .expect("scale10_capacity is a registered scenario")
+        .scaled_to(scale)
+        .over_days(1)
 }
 
 #[cfg(test)]
@@ -249,6 +348,54 @@ mod tests {
         let nan = ExpArgs::from_args(&args_of(&["--fail-on-regression", "NaN"]));
         assert_eq!(nan.fail_on_regression, None);
         assert!(nan.fail_on_regression_invalid);
+    }
+
+    #[test]
+    fn scenario_flags_parse() {
+        let parsed = ExpArgs::from_args(&args_of(&[
+            "--scenario",
+            "copier_ring",
+            "--check",
+            "--golden-dir",
+            "tests/golden",
+        ]));
+        assert_eq!(parsed.scenario.as_deref(), Some("copier_ring"));
+        assert!(parsed.check);
+        assert!(!parsed.bless);
+        assert_eq!(parsed.golden_dir, "tests/golden");
+        assert!(!parsed.scale_overridden());
+
+        // Valueless --scenario / --golden-dir must not swallow a flag.
+        let chained = ExpArgs::from_args(&args_of(&["--scenario", "--bless"]));
+        assert_eq!(chained.scenario, None);
+        assert!(chained.bless);
+        let dir = ExpArgs::from_args(&args_of(&["--golden-dir", "--check"]));
+        assert_eq!(dir.golden_dir, "tests/golden");
+        assert!(dir.check);
+    }
+
+    #[test]
+    fn explicit_scale_overrides_are_tracked_and_applied() {
+        let defaults = ExpArgs::from_args(&args_of(&[]));
+        assert!(!defaults.scale_overridden());
+        let golden = defaults.scenario("copier_ring").unwrap();
+        assert_eq!(golden, datagen::scenario::by_name("copier_ring").unwrap());
+
+        let scaled = ExpArgs::from_args(&args_of(&["--scale", "10", "--days", "2"]));
+        assert!(scaled.scale_overridden());
+        let s = scaled.scenario("scale10_capacity").unwrap();
+        assert_eq!(s.config().num_objects, 10_000);
+        assert_eq!(s.num_days, 2);
+        assert!(scaled.scenario("nonsense").is_none());
+    }
+
+    #[test]
+    fn long_row_scenario_lengthens_rows() {
+        let s = long_row_scenario(0.5);
+        let cfg = s.config();
+        assert_eq!(cfg.num_objects, 500);
+        assert_eq!(cfg.num_days, 1);
+        assert_eq!(cfg.num_sources(), 80);
     }
 
     /// `--compare` must not swallow a following flag as its file path.

@@ -1,0 +1,144 @@
+//! Scoring a [`crate::CopyReport`] against generator ground truth.
+//!
+//! The scenario regression suites plant known copy structures (star groups,
+//! copier-ring chains) and must report how well detection recovers them.
+//! [`compare_edges`] scores the detector's thresholded pairs against the true
+//! edge set — all unordered pairs of sources that share a planted copy
+//! provenance — yielding hit and false-positive rates that go straight into
+//! the golden-metrics tables.
+
+use crate::CopyReport;
+use datamodel::SourceId;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Detected-edge vs. ground-truth-edge comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct EdgeComparison {
+    /// Number of ground-truth edges.
+    pub true_edges: usize,
+    /// Number of detected edges.
+    pub detected_edges: usize,
+    /// Detected edges that are ground-truth edges.
+    pub hits: usize,
+    /// Detected edges that are *not* ground-truth edges.
+    pub false_positives: usize,
+}
+
+impl EdgeComparison {
+    /// Fraction of ground-truth edges detected (recall). 1.0 when there are
+    /// no ground-truth edges.
+    pub fn hit_rate(&self) -> f64 {
+        if self.true_edges == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.true_edges as f64
+        }
+    }
+
+    /// Fraction of detected edges that are spurious. 0.0 when nothing was
+    /// detected.
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.detected_edges == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.detected_edges as f64
+        }
+    }
+
+    /// Fraction of detected edges that are real (precision). 1.0 when
+    /// nothing was detected (no spurious claims were made).
+    pub fn precision(&self) -> f64 {
+        1.0 - self.false_positive_rate()
+    }
+}
+
+/// Score the report's thresholded pairs against `true_edges` (unordered;
+/// orientation is normalized before comparison).
+pub fn compare_edges(report: &CopyReport, true_edges: &[(SourceId, SourceId)]) -> EdgeComparison {
+    let truth: BTreeSet<(SourceId, SourceId)> = true_edges
+        .iter()
+        .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    let detected: BTreeSet<(SourceId, SourceId)> = report
+        .detected_pairs()
+        .into_iter()
+        .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    let hits = detected.intersection(&truth).count();
+    EdgeComparison {
+        true_edges: truth.len(),
+        detected_edges: detected.len(),
+        hits,
+        false_positives: detected.len() - hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known_copying;
+    use datamodel::DomainSchema;
+
+    fn schema_with_group() -> DomainSchema {
+        let mut schema = DomainSchema::new("test");
+        for i in 0..4 {
+            schema.add_source(format!("S{i}"), false);
+        }
+        schema.set_copy_of(SourceId(1), SourceId(0));
+        schema.set_copy_of(SourceId(2), SourceId(0));
+        schema
+    }
+
+    #[test]
+    fn oracle_report_scores_perfectly_against_its_own_truth() {
+        let schema = schema_with_group();
+        let report = known_copying(&schema);
+        let truth = vec![
+            (SourceId(0), SourceId(1)),
+            (SourceId(0), SourceId(2)),
+            (SourceId(1), SourceId(2)),
+        ];
+        let cmp = compare_edges(&report, &truth);
+        assert_eq!(cmp.hits, cmp.true_edges);
+        assert_eq!(cmp.false_positives, 0);
+        assert_eq!(cmp.hit_rate(), 1.0);
+        assert_eq!(cmp.false_positive_rate(), 0.0);
+        assert_eq!(cmp.precision(), 1.0);
+    }
+
+    #[test]
+    fn missing_and_spurious_edges_are_counted() {
+        let schema = schema_with_group();
+        let report = known_copying(&schema);
+        // Pretend the truth also contains an edge the oracle misses, and
+        // drop one edge it reports (making that report edge spurious).
+        let truth = vec![
+            (SourceId(0), SourceId(1)),
+            (SourceId(1), SourceId(2)),
+            (SourceId(2), SourceId(3)),
+        ];
+        let cmp = compare_edges(&report, &truth);
+        assert_eq!(cmp.true_edges, 3);
+        assert_eq!(cmp.hits, 2);
+        assert_eq!(cmp.false_positives, 1);
+        assert!((cmp.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_orientation_is_normalized() {
+        let schema = schema_with_group();
+        let report = known_copying(&schema);
+        let reversed = vec![(SourceId(1), SourceId(0))];
+        let cmp = compare_edges(&report, &reversed);
+        assert_eq!(cmp.hits, 1);
+    }
+
+    #[test]
+    fn empty_truth_and_empty_detection_degenerate_sanely() {
+        let report = CopyReport::default();
+        let cmp = compare_edges(&report, &[]);
+        assert_eq!(cmp.hit_rate(), 1.0);
+        assert_eq!(cmp.false_positive_rate(), 0.0);
+    }
+}

@@ -11,8 +11,13 @@
 //!   connected-component copy groups;
 //! * [`known_copying`] — the oracle path used by the paper when it feeds the
 //!   *claimed/observed* dependencies (Table 5) into fusion instead of the
-//!   detected ones.
+//!   detected ones;
+//! * [`compare_edges`] — scoring a report's detected edges against a
+//!   generator-planted ground-truth edge set (hit / false-positive rates for
+//!   the scenario regression suites).
 
 pub mod detector;
+pub mod ground_truth;
 
 pub use detector::{known_copying, CopyDetector, CopyDetectorConfig, CopyReport};
+pub use ground_truth::{compare_edges, EdgeComparison};

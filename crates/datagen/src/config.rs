@@ -104,6 +104,20 @@ pub struct AttrSpec {
     pub drift: f64,
 }
 
+/// A mid-stream quality flip: from `day` onwards the source's *stochastic*
+/// error modes (out-of-date, unit, pure) are re-budgeted for `accuracy_after`
+/// instead of the source's configured accuracy. Structural error modes
+/// (semantics/instance ambiguity) are decided once per run from the original
+/// accuracy — a source does not change which attribute definitions it uses
+/// mid-stream, it just gets sloppy (or careful).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityFlip {
+    /// First day the flipped accuracy applies to.
+    pub day: u32,
+    /// Target accuracy from `day` onwards.
+    pub accuracy_after: f64,
+}
+
 /// Specification of one source's behaviour.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SourceSpec {
@@ -143,6 +157,13 @@ pub struct SourceSpec {
     pub dead_after_day: Option<u32>,
     /// How many days out of date the source's stale claims are.
     pub staleness_days: u32,
+    /// Optional mid-stream quality flip (scenario stress knob).
+    pub quality_flip: Option<QualityFlip>,
+    /// Per-day multiplicative growth of the rounding granularity (scenario
+    /// format-drift knob): on day `d` the source rounds numeric values to
+    /// `relative_rounding * rounding_drift^d` of the attribute scale. `1.0`
+    /// (the default) means the format never drifts.
+    pub rounding_drift: f64,
 }
 
 impl SourceSpec {
@@ -162,6 +183,8 @@ impl SourceSpec {
             copy_fidelity: 1.0,
             dead_after_day: None,
             staleness_days: 1,
+            quality_flip: None,
+            rounding_drift: 1.0,
         }
     }
 
@@ -211,6 +234,23 @@ impl SourceSpec {
     /// Set how stale the source's out-of-date claims are.
     pub fn with_staleness_days(mut self, days: u32) -> Self {
         self.staleness_days = days;
+        self
+    }
+
+    /// Flip the source's stochastic error budget to `accuracy_after` from
+    /// `day` onwards (scenario quality-flip knob).
+    pub fn flipping_quality(mut self, day: u32, accuracy_after: f64) -> Self {
+        self.quality_flip = Some(QualityFlip {
+            day,
+            accuracy_after,
+        });
+        self
+    }
+
+    /// Make the source's rounding granularity grow by `growth`× per day
+    /// (scenario format-drift knob).
+    pub fn with_rounding_drift(mut self, growth: f64) -> Self {
+        self.rounding_drift = growth.max(0.0);
         self
     }
 }
@@ -307,6 +347,24 @@ mod tests {
 
         let dead = SourceSpec::independent("StockSmart", 0.9, 1.0).dead_after(0);
         assert_eq!(dead.dead_after_day, Some(0));
+
+        let flipper = SourceSpec::independent("Flipper", 0.95, 0.9).flipping_quality(5, 0.4);
+        assert_eq!(
+            flipper.quality_flip,
+            Some(QualityFlip {
+                day: 5,
+                accuracy_after: 0.4
+            })
+        );
+
+        let drifter = SourceSpec::independent("Drifter", 0.9, 0.9)
+            .with_rounding(1e-3)
+            .with_rounding_drift(2.0);
+        assert_eq!(drifter.rounding_drift, 2.0);
+        // Neutral defaults: no flip, no format drift.
+        let plain = SourceSpec::independent("Plain", 0.9, 0.9);
+        assert!(plain.quality_flip.is_none());
+        assert_eq!(plain.rounding_drift, 1.0);
     }
 
     #[test]

@@ -67,6 +67,20 @@ struct SourcePlan {
     pure_prob: f64,
     /// Absolute rounding granularity per attribute (0 = exact).
     rounding: Vec<f64>,
+    /// Stochastic error probabilities that replace `stale/unit/pure_prob`
+    /// from the flip day onwards (the scenario quality-flip knob).
+    post_flip: Option<PostFlip>,
+}
+
+/// The re-budgeted stochastic error probabilities of a quality-flipped
+/// source. Structural modes (semantics/instance ambiguity) are fixed per
+/// run, so their share of the flipped budget is realized as pure errors.
+#[derive(Debug, Clone, Copy)]
+struct PostFlip {
+    day: u32,
+    stale_prob: f64,
+    unit_prob: f64,
+    pure_prob: f64,
 }
 
 /// Generate a domain from its configuration. Fully deterministic in
@@ -221,6 +235,26 @@ fn build_plan(
         })
         .collect();
 
+    // Mid-stream quality flip: re-budget only the stochastic modes for the
+    // flipped accuracy (no RNG draws here — determinism of unflipped
+    // sources is untouched). The structural semantics/instance shares of
+    // the flipped budget cannot be re-realized mid-run and fold into pure
+    // errors, exactly like unrealizable semantics above.
+    let post_flip = spec.quality_flip.map(|flip| {
+        let err = (1.0 - flip.accuracy_after).clamp(0.0, 1.0);
+        let stale = err * config.error_mix.out_of_date / mix_total;
+        let unit = err * config.error_mix.unit / mix_total;
+        let pure = err
+            * (config.error_mix.pure + config.error_mix.semantics + config.error_mix.instance)
+            / mix_total;
+        PostFlip {
+            day: flip.day,
+            stale_prob: (stale * 1.6).clamp(0.0, 1.0),
+            unit_prob: unit.clamp(0.0, 1.0),
+            pure_prob: pure.clamp(0.0, 1.0),
+        }
+    });
+
     SourcePlan {
         covered_objects,
         covered_attrs,
@@ -232,6 +266,7 @@ fn build_plan(
         unit_prob: unit_budget.clamp(0.0, 1.0),
         pure_prob: (pure_budget + unrealized_semantics).clamp(0.0, 1.0),
         rounding,
+        post_flip,
     }
 }
 
@@ -248,31 +283,56 @@ fn generate_day(
     let mut builder = SnapshotBuilder::new(day);
     let mut day_prov = DayProvenance::new();
 
-    // Independent sources first; copiers need the originals' claims.
-    let mut independent_claims: BTreeMap<usize, Claims> = BTreeMap::new();
+    // Independent sources first; copiers need their originals' claims.
+    let mut materialized: BTreeMap<usize, Claims> = BTreeMap::new();
     for (i, spec) in config.sources.iter().enumerate() {
         if spec.copies_from.is_some() {
             continue;
         }
         let claims = generate_independent_claims(config, world, &plans[i], spec, i, day);
-        independent_claims.insert(i, claims);
+        materialized.insert(i, claims);
     }
 
-    for (i, spec) in config.sources.iter().enumerate() {
-        let source = SourceId(i as u32);
-        let claims: Claims = match spec.copies_from {
-            None => independent_claims
-                .get(&i)
-                .cloned()
-                .unwrap_or_default(),
-            Some(orig) => {
-                let original = independent_claims.get(&orig).cloned().unwrap_or_default();
-                copy_claims(config, &plans[i], spec, i, day, &original)
+    // Copier chains (scenario copier rings copy from other copiers):
+    // materialize in dependency order until the fixpoint. A provenance cycle
+    // with no independent head would make no progress; its members then
+    // produce nothing that day (defensive — the scenario layer always roots
+    // rings at an independent source).
+    let mut pending: Vec<usize> = config
+        .sources
+        .iter()
+        .enumerate()
+        .filter(|(_, spec)| spec.copies_from.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    while !pending.is_empty() {
+        let mut progress = false;
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for i in pending {
+            let spec = &config.sources[i];
+            let orig = spec.copies_from.expect("pending sources are copiers");
+            match materialized.get(&orig) {
+                Some(original) => {
+                    let claims = copy_claims(config, &plans[i], spec, i, day, original);
+                    materialized.insert(i, claims);
+                    progress = true;
+                }
+                None => still_pending.push(i),
             }
-        };
-        for (item, value, prov) in claims {
-            builder.add(source, item.object, item.attr, value);
-            day_prov.record(item, source, prov);
+        }
+        pending = still_pending;
+        if !progress {
+            break;
+        }
+    }
+
+    for i in 0..config.sources.len() {
+        let source = SourceId(i as u32);
+        if let Some(claims) = materialized.get(&i) {
+            for (item, value, prov) in claims {
+                builder.add(source, item.object, item.attr, value.clone());
+                day_prov.record(*item, source, *prov);
+            }
         }
     }
 
@@ -305,6 +365,15 @@ fn generate_independent_claims(
     let mut rng = claim_rng(config, source_index, effective_day);
     let mut claims = Vec::new();
 
+    // Format drift: the rounding granularity grows by `rounding_drift`× per
+    // day. Keyed on the effective day — a dead source keeps serving the
+    // formatting of its last refreshed day along with its values.
+    let drift_factor = if spec.rounding_drift == 1.0 {
+        1.0
+    } else {
+        spec.rounding_drift.powi(effective_day as i32)
+    };
+
     for (o, covered) in plan.covered_objects.iter().enumerate() {
         if !covered {
             continue;
@@ -332,7 +401,7 @@ fn generate_independent_claims(
                 Some(r) => ClaimOutcome::Error(r),
                 None => ClaimOutcome::Correct,
             };
-            let value = apply_rounding(raw_value, plan.rounding[a]);
+            let value = apply_rounding(raw_value, plan.rounding[a] * drift_factor);
             claims.push((
                 item,
                 value,
@@ -375,10 +444,16 @@ fn produce_value(
         return (truth, None);
     }
 
+    // The stochastic error budget: pre-flip probabilities, or the flipped
+    // ones once a quality-flipped source passes its flip day.
+    let (stale_prob, unit_prob, pure_prob) = match plan.post_flip {
+        Some(post) if day >= post.day => (post.stale_prob, post.unit_prob, post.pure_prob),
+        _ => (plan.stale_prob, plan.unit_prob, plan.pure_prob),
+    };
     let u: f64 = rng.gen();
-    let stale_end = plan.stale_prob;
-    let unit_end = stale_end + plan.unit_prob;
-    let pure_end = unit_end + plan.pure_prob;
+    let stale_end = stale_prob;
+    let unit_end = stale_end + unit_prob;
+    let pure_end = unit_end + pure_prob;
 
     if u < stale_end {
         let stale_day = day.saturating_sub(spec.staleness_days.max(1));

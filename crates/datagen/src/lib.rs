@@ -19,12 +19,14 @@ pub mod config;
 pub mod flight;
 pub mod generator;
 pub mod provenance;
+pub mod scenario;
 pub mod stock;
 pub mod world;
 
-pub use config::{AttrSpec, DomainConfig, ErrorMix, GoldMode, GoldSpec, SourceSpec};
+pub use config::{AttrSpec, DomainConfig, ErrorMix, GoldMode, GoldSpec, QualityFlip, SourceSpec};
 pub use flight::flight_config;
 pub use generator::{generate, GeneratedDomain};
 pub use provenance::{ClaimOutcome, ClaimProvenance, DayProvenance, InconsistencyReason};
+pub use scenario::{edges_of_groups, Scenario, ScenarioWorld, GOLDEN_SEED, SCENARIO_NAMES};
 pub use stock::stock_config;
 pub use world::TrueWorld;

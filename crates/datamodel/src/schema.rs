@@ -162,8 +162,26 @@ impl DomainSchema {
         self.sources.iter().map(|s| s.id).collect()
     }
 
-    /// Groups of sources related by the generator-planted copy relation: each
-    /// group contains the original source followed by its copiers. Groups of
+    /// The *root* original of a copy chain starting at `source`: the source
+    /// reached by following `copies_from` links until an independent source.
+    /// A copier of a copier (scenario copier rings launder values through
+    /// such chains) resolves to the chain's independent head; a defensive
+    /// cycle guard returns the last visited source if the provenance ever
+    /// loops.
+    pub fn copy_root(&self, source: SourceId) -> SourceId {
+        let mut current = source;
+        for _ in 0..self.sources.len() {
+            match self.sources[current.index()].copies_from {
+                Some(original) if original != current => current = original,
+                _ => break,
+            }
+        }
+        current
+    }
+
+    /// Groups of sources related (transitively) by the generator-planted copy
+    /// relation: each group contains the chain's root original followed by
+    /// every direct or indirect copier, in ascending id order. Groups of
     /// size 1 (no copiers) are omitted.
     pub fn copy_groups(&self) -> Vec<Vec<SourceId>> {
         let mut groups: Vec<Vec<SourceId>> = Vec::new();
@@ -175,7 +193,7 @@ impl DomainSchema {
             group.extend(
                 self.sources
                     .iter()
-                    .filter(|s| s.copies_from == Some(original.id))
+                    .filter(|s| s.copies_from.is_some() && self.copy_root(s.id) == original.id)
                     .map(|s| s.id),
             );
             if group.len() > 1 {
@@ -224,6 +242,23 @@ mod tests {
         schema.set_copy_of(SourceId(2), SourceId(1));
         let groups = schema.copy_groups();
         assert_eq!(groups, vec![vec![SourceId(1), SourceId(2)]]);
+    }
+
+    #[test]
+    fn copy_groups_follow_chains_transitively() {
+        let mut schema = sample_schema();
+        schema.add_source("ChainTail", false);
+        // 1 <- 2 <- 3: a two-hop chain must land in one group rooted at 1.
+        schema.set_copy_of(SourceId(2), SourceId(1));
+        schema.set_copy_of(SourceId(3), SourceId(2));
+        assert_eq!(schema.copy_root(SourceId(3)), SourceId(1));
+        assert_eq!(schema.copy_root(SourceId(2)), SourceId(1));
+        assert_eq!(schema.copy_root(SourceId(0)), SourceId(0));
+        let groups = schema.copy_groups();
+        assert_eq!(
+            groups,
+            vec![vec![SourceId(1), SourceId(2), SourceId(3)]]
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   shard, rows bit-identical to the sequential runner;
 //! * [`breakdown`] — precision vs. dominance factor (Figure 10);
 //! * [`errors`] — error analysis of a method's mistakes (Figure 11);
-//! * [`over_time`] — precision over all collection days (Table 9).
+//! * [`over_time`] — precision over all collection days (Table 9);
+//! * [`scenario`] — golden-metrics rows for the adversarial stress
+//!   scenarios (per-method precision + copy-detection hit rates).
 
 pub mod batch;
 pub mod breakdown;
@@ -27,6 +29,7 @@ pub mod metrics;
 pub mod over_time;
 pub mod parallel;
 pub mod runner;
+pub mod scenario;
 
 pub use batch::{shard_plan, BatchEvaluation, BatchRunner, ShardArena};
 pub use breakdown::{precision_by_dominance, DominancePrecisionPoint};
@@ -38,9 +41,13 @@ pub use metrics::{
 };
 pub use over_time::{evaluate_over_time, MethodOverTime};
 pub use parallel::{
-    evaluate_days_sequential, same_results, DayEvaluation, ParallelEvaluation, ParallelRunner,
+    evaluate_days_sequential, evaluate_prepared_sequential, prepare_contexts, same_results,
+    DayEvaluation, ParallelEvaluation, ParallelRunner,
 };
 pub use runner::{
     copy_report_to_dense, evaluate_all_methods, evaluate_method, EvaluationContext,
     MethodEvaluation,
+};
+pub use scenario::{
+    evaluate_scenario_day, render_golden_table, ScenarioMethodRow, ScenarioOutcome,
 };

@@ -238,6 +238,44 @@ pub fn same_results(a: &[MethodEvaluation], b: &[MethodEvaluation]) -> bool {
         })
 }
 
+/// Build one evaluation context per selected day, sequentially. This is the
+/// preparation half of [`evaluate_days_sequential`], split out so repeated
+/// timing runs (`exp_fig12_efficiency --repeats`) can pay for `FusionProblem`
+/// preparation once and re-time only the method evaluations.
+pub fn prepare_contexts<'c>(
+    collection: &'c Collection,
+    day_indices: &[usize],
+    use_known_copying: bool,
+) -> Vec<EvaluationContext<'c>> {
+    day_indices
+        .iter()
+        .map(|&i| {
+            let day = collection.day(i);
+            let context = EvaluationContext::new(&day.snapshot, &day.gold);
+            if use_known_copying {
+                let report = known_copying(day.snapshot.schema());
+                context.with_known_copying(&report)
+            } else {
+                context
+            }
+        })
+        .collect()
+}
+
+/// Evaluate prepared contexts sequentially, one [`DayEvaluation`] per
+/// context, in order. The evaluation half of [`evaluate_days_sequential`].
+pub fn evaluate_prepared_sequential(contexts: &[EvaluationContext<'_>]) -> Vec<DayEvaluation> {
+    contexts
+        .iter()
+        .enumerate()
+        .map(|(day_index, context)| DayEvaluation {
+            day_index,
+            day: context.snapshot.day(),
+            rows: evaluate_all_methods(context),
+        })
+        .collect()
+}
+
 /// Convenience: sequential baseline rows for the same selection of days,
 /// used by the efficiency experiment to report the speedup honestly.
 pub fn evaluate_days_sequential(
@@ -245,23 +283,7 @@ pub fn evaluate_days_sequential(
     day_indices: &[usize],
     use_known_copying: bool,
 ) -> Vec<DayEvaluation> {
-    day_indices
-        .iter()
-        .enumerate()
-        .map(|(day_index, &i)| {
-            let day = collection.day(i);
-            let mut context = EvaluationContext::new(&day.snapshot, &day.gold);
-            if use_known_copying {
-                let report = known_copying(day.snapshot.schema());
-                context = context.with_known_copying(&report);
-            }
-            DayEvaluation {
-                day_index,
-                day: day.snapshot.day(),
-                rows: evaluate_all_methods(&context),
-            }
-        })
-        .collect()
+    evaluate_prepared_sequential(&prepare_contexts(collection, day_indices, use_known_copying))
 }
 
 #[cfg(test)]
@@ -342,6 +364,24 @@ mod tests {
             same_results(&from_runner, &from_context),
             "runner-level with_known_copying diverged from context-level oracle"
         );
+    }
+
+    #[test]
+    fn prepared_split_matches_one_shot_sequential() {
+        let domain = generate(&stock_config(36).scaled(0.01, 0.15));
+        let indices: Vec<usize> = (0..domain.collection.num_days()).collect();
+        let one_shot = evaluate_days_sequential(&domain.collection, &indices, true);
+        let contexts = prepare_contexts(&domain.collection, &indices, true);
+        // Re-evaluating the same prepared contexts twice must keep producing
+        // the one-shot rows (the --repeats pattern).
+        for _ in 0..2 {
+            let split = evaluate_prepared_sequential(&contexts);
+            assert_eq!(split.len(), one_shot.len());
+            for (a, b) in split.iter().zip(&one_shot) {
+                assert_eq!(a.day, b.day);
+                assert!(same_results(&a.rows, &b.rows));
+            }
+        }
     }
 
     #[test]

@@ -349,3 +349,144 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Copier-ring members only ever relay their direct ring source: every
+    /// claim a member makes is also claimed by the previous ring member with
+    /// the *identical* value (copiers copy or drop, never invent).
+    #[test]
+    fn ring_member_claims_mirror_their_ring_source(seed in 0u64..1000) {
+        let world = datagen::Scenario::new("prop_ring")
+            .with_seed(seed)
+            .scaled_to(0.03)
+            .over_days(1)
+            .with_copier_ring(4, 0.3, 0.9)
+            .build();
+        let snapshot = world.domain.reference_snapshot();
+        prop_assert_eq!(world.ring_sources.len(), 4);
+        for pair in world.ring_sources.windows(2) {
+            let (upstream, member) = (pair[0], pair[1]);
+            let items = snapshot.items_of_source(member);
+            prop_assert!(!items.is_empty(), "ring member {member:?} claims nothing");
+            for item in items {
+                let copied = snapshot.value_of(member, item).unwrap();
+                let original = snapshot.value_of(upstream, item);
+                prop_assert_eq!(
+                    original, Some(copied),
+                    "ring member {:?} deviates from its source {:?} on {:?}",
+                    member, upstream, item
+                );
+            }
+        }
+    }
+
+    /// Zipf coverage is monotone non-increasing in rank at the config level,
+    /// and the realized worlds honour it: the top-third of the ranked sources
+    /// make strictly more claims than the bottom third.
+    #[test]
+    fn zipf_coverage_is_heavy_tailed(seed in 0u64..1000, exponent in 0.6f64..1.8) {
+        let scenario = datagen::Scenario::new("prop_zipf")
+            .with_seed(seed)
+            .scaled_to(0.03)
+            .over_days(1)
+            .with_zipf_coverage(exponent);
+        let config = scenario.config();
+        let world = scenario.build();
+        let mut last = f64::INFINITY;
+        for &s in &world.zipf_ranked {
+            let cov = config.sources[s.index()].object_coverage;
+            prop_assert!(cov <= last + 1e-12, "coverage not monotone at {:?}", s);
+            last = cov;
+        }
+        let snapshot = world.domain.reference_snapshot();
+        let claims = |sources: &[datamodel::SourceId]| -> usize {
+            sources.iter().map(|&s| snapshot.items_of_source(s).len()).sum()
+        };
+        let third = world.zipf_ranked.len() / 3;
+        prop_assert!(third > 0);
+        let top = claims(&world.zipf_ranked[..third]);
+        let bottom = claims(&world.zipf_ranked[world.zipf_ranked.len() - third..]);
+        prop_assert!(
+            top > bottom,
+            "top-third claims {} not above bottom-third {}", top, bottom
+        );
+    }
+
+    /// Quality flips are surgical and land on target: against a same-seed
+    /// control world without the flip knob, the flipped sources' pre-flip
+    /// days are *bit-identical* (identical claim and error counts), while
+    /// from the flip day onwards their realized error rate jumps well above
+    /// the control and at least to the flipped error budget
+    /// (`1 - accuracy_after`; staleness compounds on top of it).
+    #[test]
+    fn quality_flip_matches_pre_and_post_error_rates(seed in 0u64..1000) {
+        let flip_day = 2u32;
+        let accuracy_after = 0.45f64;
+        let base = datagen::Scenario::new("prop_flip")
+            .with_seed(seed)
+            .scaled_to(0.06)
+            .over_days(4);
+        let flipped = base.clone().with_quality_flips(6, flip_day, accuracy_after).build();
+        let control = base.build();
+        prop_assert_eq!(flipped.flipped_sources.len(), 6);
+
+        // Aggregate (errors, claims) over the flipped sources for one day.
+        let tally = |world: &datagen::ScenarioWorld, day: usize| -> (usize, usize) {
+            let snapshot = &world.domain.collection.day(day).snapshot;
+            let prov = &world.domain.provenance[day];
+            let mut errors = 0;
+            let mut claims = 0;
+            for &s in &flipped.flipped_sources {
+                for item in snapshot.items_of_source(s) {
+                    claims += 1;
+                    let p = prov.get(item, s).expect("claim has provenance");
+                    if !p.outcome.is_correct() {
+                        errors += 1;
+                    }
+                }
+            }
+            (errors, claims)
+        };
+
+        // Pre-flip days are untouched by the knob: same claim volume, same
+        // error count, and the very same values as the control world.
+        for day in 0..flip_day as usize {
+            let (f_err, f_n) = tally(&flipped, day);
+            let (c_err, c_n) = tally(&control, day);
+            prop_assert!(f_n > 200, "too few claims to measure");
+            prop_assert_eq!((f_err, f_n), (c_err, c_n), "pre-flip day {} disturbed", day);
+            let f_snap = &flipped.domain.collection.day(day).snapshot;
+            let c_snap = &control.domain.collection.day(day).snapshot;
+            for &s in &flipped.flipped_sources {
+                for item in f_snap.items_of_source(s) {
+                    prop_assert_eq!(f_snap.value_of(s, item), c_snap.value_of(s, item));
+                }
+            }
+        }
+
+        // Post-flip days: rate jumps well above the control and reaches at
+        // least the flipped error budget (day 1 is the pre-flip steady state
+        // once stale errors can materialize).
+        let (pre_err, pre_n) = tally(&flipped, 1);
+        let pre_rate = pre_err as f64 / pre_n as f64;
+        for day in flip_day as usize..4 {
+            let (f_err, f_n) = tally(&flipped, day);
+            let (c_err, c_n) = tally(&control, day);
+            let post_rate = f_err as f64 / f_n as f64;
+            let control_rate = c_err as f64 / c_n as f64;
+            prop_assert!(
+                post_rate >= 1.0 - accuracy_after - 0.05,
+                "day {}: post-flip error rate {} below the flipped budget {}",
+                day, post_rate, 1.0 - accuracy_after
+            );
+            prop_assert!(
+                post_rate > control_rate + 0.15 && post_rate > pre_rate + 0.15,
+                "day {}: post-flip rate {} too close to control {} / pre-flip {}",
+                day, post_rate, control_rate, pre_rate
+            );
+            prop_assert!(post_rate < 0.95, "day {}: flip degenerated to all-errors", day);
+        }
+    }
+}
