@@ -1,0 +1,124 @@
+//! Criterion benchmarks of intra-day (within-snapshot) parallel fusion —
+//! the `fusion::chunking` layer behind the Figure-12 efficiency story.
+//!
+//! One method on one day is the unit the paper times; chunking cuts that
+//! day's candidate axis into contiguous item ranges and runs them on the
+//! rayon pool, so a single heavy method (AccuPr, AccuCopy) can saturate the
+//! cores that the across-day fan-out leaves idle on few-big-days workloads.
+//! The benches compare:
+//!
+//! * `sequential` — the unchunked baseline (`intra_day_chunks = 0`);
+//! * `chunked_t{1,2,4}` — the chunked path under `RAYON_NUM_THREADS` ∈
+//!   {1, 2, 4} (the rayon stand-in reads the variable per call, so the legs
+//!   are meaningful within one process). The t1 leg prices the pure
+//!   chunking overhead; t2/t4 show the scaling on multicore hosts;
+//! * `kernel_*` — the chunked path under each kernel backend (dispatched
+//!   and forced-scalar), preserving the backend comparison the other
+//!   benches run.
+//!
+//! The world is the kitchen-sink scenario (every adversarial knob stacked)
+//! at its CI-sized golden scale; `--scale 10` on `exp_fig12_efficiency`
+//! covers the full-size measurement. A correctness guard asserts the
+//! chunked runs are bit-identical to sequential before anything is timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::scenario::by_name;
+use fusion::kernels::{self, Backend};
+use fusion::{method_by_name, FusionMethod, FusionOptions, FusionProblem};
+
+const THREAD_LEGS: [usize; 3] = [1, 2, 4];
+
+fn kitchen_sink_problem() -> FusionProblem {
+    let world = by_name("kitchen_sink")
+        .expect("kitchen_sink is a registered scenario")
+        .build();
+    let day = world.domain.collection.reference_day();
+    FusionProblem::from_snapshot(&day.snapshot)
+}
+
+/// Bit-identity guard: a timing comparison of the chunked and sequential
+/// paths is only meaningful if they compute the same thing.
+fn assert_chunk_invariant(method: &dyn FusionMethod, problem: &FusionProblem, chunks: usize) {
+    let sequential = method.run(problem, &FusionOptions::standard());
+    let chunked = method.run(
+        problem,
+        &FusionOptions::standard().with_intra_day_chunks(chunks),
+    );
+    assert_eq!(
+        sequential.selection,
+        chunked.selection,
+        "chunked {} selection diverged from sequential",
+        method.name()
+    );
+    let seq_bits: Vec<u64> = sequential.trust.overall.iter().map(|t| t.to_bits()).collect();
+    let chunk_bits: Vec<u64> = chunked.trust.overall.iter().map(|t| t.to_bits()).collect();
+    assert_eq!(
+        seq_bits,
+        chunk_bits,
+        "chunked {} trust bits diverged from sequential",
+        method.name()
+    );
+}
+
+fn bench_intra_day(c: &mut Criterion) {
+    let problem = kitchen_sink_problem();
+    let methods = [
+        method_by_name("AccuPr").expect("AccuPr is registered"),
+        method_by_name("AccuCopy").expect("AccuCopy is registered"),
+    ];
+    for method in &methods {
+        assert_chunk_invariant(method.as_ref(), &problem, 4);
+    }
+
+    let sequential = FusionOptions::standard();
+    let mut group = c.benchmark_group("intra_day");
+    for method in &methods {
+        group.bench_function(format!("{}/sequential", method.name()), |b| {
+            b.iter(|| method.run(&problem, &sequential))
+        });
+        for threads in THREAD_LEGS {
+            // One chunk per thread, with a floor of two so the t1 leg still
+            // exercises (and prices) the chunked code path.
+            let opts = FusionOptions::standard().with_intra_day_chunks(threads.max(2));
+            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            group.bench_function(format!("{}/chunked_t{threads}", method.name()), |b| {
+                b.iter(|| method.run(&problem, &opts))
+            });
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+    group.finish();
+}
+
+/// The kernel-backend legs: the chunked path dispatches into the same
+/// per-range kernels as the sequential one, so a backend regression shows
+/// up here exactly as it does in the `vote_plane` benches.
+fn bench_backends(c: &mut Criterion) {
+    let problem = kitchen_sink_problem();
+    let method = method_by_name("AccuCopy").expect("AccuCopy is registered");
+    let opts = FusionOptions::standard().with_intra_day_chunks(4);
+    let dispatched = kernels::backend();
+
+    let mut group = c.benchmark_group("intra_day_backends");
+    for backend in [dispatched, Backend::Scalar] {
+        let effective = kernels::force_backend(backend);
+        group.bench_function(
+            format!("AccuCopy/chunked_kernel_{}", kernels::backend_name()),
+            |b| b.iter(|| method.run(&problem, &opts)),
+        );
+        // Avoid a duplicate benchmark id when scalar is also the dispatched
+        // backend (force_backend downgrades on CPUs without AVX2+FMA).
+        if effective == Backend::Scalar && dispatched == Backend::Scalar {
+            break;
+        }
+    }
+    kernels::force_backend(dispatched);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_intra_day, bench_backends
+}
+criterion_main!(benches);

@@ -37,12 +37,13 @@ use serde::{Deserialize, Serialize};
 pub const GOLDEN_SEED: u64 = 2012;
 
 /// Names of the built-in scenarios, in golden-suite order.
-pub const SCENARIO_NAMES: [&str; 5] = [
+pub const SCENARIO_NAMES: [&str; 6] = [
     "copier_ring",
     "zipf_coverage",
     "quality_flip",
     "format_drift",
     "scale10_capacity",
+    "kitchen_sink",
 ];
 
 /// Copier-ring knob: `size` sources appended to the base population — one
@@ -377,6 +378,19 @@ pub fn by_name(name: &str) -> Option<Scenario> {
             .scaled_to(0.1)
             .over_days(2)
             .with_extra_sources(25),
+        // Every knob at once: a laundering ring over heavy-tail coverage,
+        // mid-stream quality flips, format drift, and long provider rows.
+        // The golden default stays CI-sized; `.scaled_to(10.0)` of this same
+        // scenario is the million-item intra-day chunking workload the
+        // `intra_day` bench and `exp_fig12_efficiency` measure.
+        "kitchen_sink" => Scenario::new(name)
+            .scaled_to(0.08)
+            .over_days(3)
+            .with_copier_ring(6, 0.30, 0.97)
+            .with_zipf_coverage(0.8)
+            .with_quality_flips(6, 2, 0.45)
+            .with_format_drift(6, 1e-3, 1.6)
+            .with_extra_sources(20),
         _ => return None,
     };
     Some(scenario)
@@ -469,6 +483,23 @@ mod tests {
         let item = snap_a.item_ids().next().unwrap();
         assert_eq!(snap_a.observations(item), snap_b.observations(item));
         assert_eq!(a.true_edges, b.true_edges);
+    }
+
+    #[test]
+    fn kitchen_sink_stacks_every_knob() {
+        let world = by_name("kitchen_sink").unwrap().build();
+        assert_eq!(world.ring_sources.len(), 6);
+        assert_eq!(world.flipped_sources.len(), 6);
+        assert_eq!(world.drifting_sources.len(), 6);
+        assert!(!world.zipf_ranked.is_empty());
+        assert!(!world.true_edges.is_empty());
+        // Flip and drift pick disjoint plain sources even with every knob on.
+        for s in &world.flipped_sources {
+            assert!(!world.drifting_sources.contains(s));
+        }
+        // The long-row and ring sources sit on top of the base population.
+        let base = stock_config(GOLDEN_SEED).num_sources();
+        assert_eq!(world.scenario.config().num_sources(), base + 6 + 20);
     }
 
     #[test]

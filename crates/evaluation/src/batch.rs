@@ -31,6 +31,7 @@
 //!
 //! [`ParallelRunner`]: crate::parallel::ParallelRunner
 
+use crate::chunk_policy::ChunkPolicy;
 use crate::parallel::DayEvaluation;
 use crate::runner::{copy_report_to_dense, evaluate_method_core, MethodEvaluation};
 use copydetect::known_copying;
@@ -84,13 +85,16 @@ impl ShardArena {
     /// Evaluate `methods` on one collection day (the Table-7 row set),
     /// re-filling the arena from the day's snapshot first. `day_index` is the
     /// position of the day within the evaluated selection, mirroring
-    /// [`crate::parallel::evaluate_days_sequential`].
+    /// [`crate::parallel::evaluate_days_sequential`]. `intra_day_chunks` lets
+    /// each method run parallelize within the day (see [`fusion::chunking`];
+    /// `0` = sequential, and any value yields bit-identical rows).
     pub fn evaluate_day(
         &mut self,
         day: &CollectionDay,
         day_index: usize,
         methods: &[(MethodCategory, Box<dyn FusionMethod>)],
         use_known_copying: bool,
+        intra_day_chunks: usize,
     ) -> DayEvaluation {
         let Self { builder, scratch } = self;
         let problem = builder.prepare(&day.snapshot);
@@ -109,6 +113,7 @@ impl ShardArena {
                     *category,
                     method.as_ref(),
                     scratch,
+                    intra_day_chunks,
                 )
             })
             .collect();
@@ -250,6 +255,11 @@ impl BatchRunner {
         let max_shards = self.num_shards.unwrap_or_else(rayon::current_num_threads);
         let plan = shard_plan(&weights, max_shards);
         let num_shards = plan.len();
+        // With fewer shards than worker threads (few big days), hand the
+        // spare threads to each method run as intra-day chunks; a saturated
+        // shard fan-out keeps every run sequential. Either way the rows are
+        // bit-identical — the policy only moves time around.
+        let policy = ChunkPolicy::from_pool();
 
         let shard_outputs: Vec<(Vec<DayEvaluation>, Duration)> = plan
             .into_par_iter()
@@ -258,12 +268,10 @@ impl BatchRunner {
                 let mut arena = ShardArena::new();
                 let days: Vec<DayEvaluation> = range
                     .map(|k| {
-                        arena.evaluate_day(
-                            collection.day(day_indices[k]),
-                            k,
-                            &methods,
-                            self.use_known_copying,
-                        )
+                        let day = collection.day(day_indices[k]);
+                        let chunks = policy
+                            .intra_day_chunks(num_shards, day.snapshot.num_items());
+                        arena.evaluate_day(day, k, &methods, self.use_known_copying, chunks)
                     })
                     .collect();
                 (days, shard_start.elapsed())

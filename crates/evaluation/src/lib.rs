@@ -14,6 +14,9 @@
 //! * [`batch`] — the sharded batch runner: contiguous day shards, one warm
 //!   [`ShardArena`] (in-place CSR refills + reused fusion scratch) per
 //!   shard, rows bit-identical to the sequential runner;
+//! * [`chunk_policy`] — picks between across-task fan-out and intra-day
+//!   [`fusion::chunking`] from the task stats (few big days chunk within
+//!   the day, many small days fan across days);
 //! * [`breakdown`] — precision vs. dominance factor (Figure 10);
 //! * [`errors`] — error analysis of a method's mistakes (Figure 11);
 //! * [`over_time`] — precision over all collection days (Table 9);
@@ -22,6 +25,7 @@
 
 pub mod batch;
 pub mod breakdown;
+pub mod chunk_policy;
 pub mod compare;
 pub mod errors;
 pub mod incremental;
@@ -33,6 +37,7 @@ pub mod scenario;
 
 pub use batch::{shard_plan, BatchEvaluation, BatchRunner, ShardArena};
 pub use breakdown::{precision_by_dominance, DominancePrecisionPoint};
+pub use chunk_policy::ChunkPolicy;
 pub use compare::{compare_methods, MethodComparison, PAPER_METHOD_PAIRS};
 pub use errors::{analyze_errors, ErrorAnalysis, ErrorCause};
 pub use incremental::{incremental_recall, IncrementalPoint, IncrementalSeries};
@@ -45,8 +50,8 @@ pub use parallel::{
     DayEvaluation, ParallelEvaluation, ParallelRunner,
 };
 pub use runner::{
-    copy_report_to_dense, evaluate_all_methods, evaluate_method, EvaluationContext,
-    MethodEvaluation,
+    copy_report_to_dense, evaluate_all_methods, evaluate_method, evaluate_method_with_chunks,
+    EvaluationContext, MethodEvaluation,
 };
 pub use scenario::{
     evaluate_scenario_day, render_golden_table, ScenarioMethodRow, ScenarioOutcome,

@@ -16,7 +16,10 @@
 //! `same_results` helper encodes that equivalence and is exercised by the
 //! integration tests.
 
-use crate::runner::{evaluate_all_methods, evaluate_method, EvaluationContext, MethodEvaluation};
+use crate::chunk_policy::ChunkPolicy;
+use crate::runner::{
+    evaluate_all_methods, evaluate_method_with_chunks, EvaluationContext, MethodEvaluation,
+};
 use copydetect::known_copying;
 use datamodel::{Collection, CollectionDay};
 use fusion::all_methods;
@@ -113,9 +116,17 @@ impl ParallelRunner {
             context.clone().with_known_copying(&report)
         });
         let context = enriched.as_ref().unwrap_or(context);
-        all_methods()
+        let methods = all_methods();
+        // Sixteen method tasks over one day: on pools wider than the method
+        // count each task also chunks within the day (bit-identical either
+        // way, see `ChunkPolicy`).
+        let policy = ChunkPolicy::from_pool();
+        let chunks = policy.intra_day_chunks(methods.len(), context.problem.num_items());
+        methods
             .into_par_iter()
-            .map(|(category, method)| evaluate_method(context, category, method.as_ref()))
+            .map(|(category, method)| {
+                evaluate_method_with_chunks(context, category, method.as_ref(), chunks)
+            })
             .collect()
     }
 
@@ -168,12 +179,20 @@ impl ParallelRunner {
         let tasks: Vec<(usize, usize)> = (0..contexts.len())
             .flat_map(|day| (0..methods.len()).map(move |method| (day, method)))
             .collect();
+        // Spare threads (pool wider than the task list — one huge day on a
+        // many-core box) go to intra-day chunking; the usual many-task case
+        // keeps every run sequential. Bit-identical either way.
+        let policy = ChunkPolicy::from_pool();
+        let num_tasks = tasks.len();
         let evaluated: Vec<(usize, usize, MethodEvaluation, Duration)> = tasks
             .into_par_iter()
             .map(|(day, method_index)| {
                 let task_start = Instant::now();
                 let (category, method) = &methods[method_index];
-                let row = evaluate_method(&contexts[day], *category, method.as_ref());
+                let chunks =
+                    policy.intra_day_chunks(num_tasks, contexts[day].problem.num_items());
+                let row =
+                    evaluate_method_with_chunks(&contexts[day], *category, method.as_ref(), chunks);
                 (day, method_index, row, task_start.elapsed())
             })
             .collect();

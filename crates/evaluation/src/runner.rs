@@ -100,6 +100,11 @@ pub struct MethodEvaluation {
 /// caller-owned [`FusionScratch`], so the per-context runners and the
 /// warm-arena batch runner share one code path — which is what makes their
 /// rows bit-identical by construction.
+///
+/// `intra_day_chunks` is forwarded to
+/// [`FusionOptions::with_intra_day_chunks`] for both the without-trust and
+/// with-trust runs; chunked fusion is bit-identical to sequential fusion, so
+/// the value only affects timing (see [`crate::chunk_policy::ChunkPolicy`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_method_core(
     snapshot: &Snapshot,
@@ -110,14 +115,17 @@ pub(crate) fn evaluate_method_core(
     category: MethodCategory,
     method: &dyn FusionMethod,
     scratch: &mut FusionScratch,
+    intra_day_chunks: usize,
 ) -> MethodEvaluation {
-    let standard = FusionOptions::standard();
+    let standard = FusionOptions::standard().with_intra_day_chunks(intra_day_chunks);
     let without = method.run_with_scratch(problem, &standard, scratch);
     let pr_without = precision_recall(snapshot, gold, &without);
     let (deviation, difference) =
         trust_deviation_and_difference(&without.trust.overall, sampled_trust);
 
-    let mut with_opts = FusionOptions::standard().with_input_trust(sampled_trust.to_vec());
+    let mut with_opts = FusionOptions::standard()
+        .with_intra_day_chunks(intra_day_chunks)
+        .with_input_trust(sampled_trust.to_vec());
     if let Some(known) = known_copying {
         with_opts = with_opts.with_known_copying(known.clone());
     }
@@ -138,11 +146,26 @@ pub(crate) fn evaluate_method_core(
 }
 
 /// Evaluate a single method on a context. `category` is only used for the
-/// report label.
+/// report label. Runs sequentially; use [`evaluate_method_with_chunks`] to
+/// let one method parallelize within the day.
 pub fn evaluate_method(
     context: &EvaluationContext<'_>,
     category: MethodCategory,
     method: &dyn FusionMethod,
+) -> MethodEvaluation {
+    evaluate_method_with_chunks(context, category, method, 0)
+}
+
+/// [`evaluate_method`] with an explicit intra-day chunk count (see
+/// [`fusion::chunking`]); `0` keeps the method sequential. Chunked rows are
+/// bit-identical to sequential rows, so callers choose the count purely on
+/// performance grounds — typically via
+/// [`ChunkPolicy`](crate::chunk_policy::ChunkPolicy).
+pub fn evaluate_method_with_chunks(
+    context: &EvaluationContext<'_>,
+    category: MethodCategory,
+    method: &dyn FusionMethod,
+    intra_day_chunks: usize,
 ) -> MethodEvaluation {
     evaluate_method_core(
         context.snapshot,
@@ -153,6 +176,7 @@ pub fn evaluate_method(
         category,
         method,
         &mut FusionScratch::new(),
+        intra_day_chunks,
     )
 }
 

@@ -22,6 +22,7 @@
 
 #![deny(missing_docs)]
 
+pub mod chunking;
 pub mod copymatrix;
 pub mod kernels;
 pub mod methods;
@@ -29,6 +30,7 @@ pub mod problem;
 pub mod registry;
 pub mod types;
 
+pub use chunking::{ChunkPlan, ChunkPlans};
 pub use copymatrix::CopyMatrix;
 pub use methods::FusionMethod;
 pub use problem::{Candidate, FusionProblem, PreparedItem, ProblemBuilder};

@@ -31,12 +31,13 @@
 //!   increments, instead of rebuilding an S×I claim table and re-deriving
 //!   the increments (two `ln` calls) per shared item.
 
+use crate::chunking::{self, ChunkPlan, ChunkPlans};
 use crate::copymatrix::{triangular_slot, CopyMatrix};
 use crate::kernels;
 use crate::methods::bayesian::{clamp_trust, softmax_into, update_trust_from_scores, Accu};
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{argmax_selection_into, FusionOptions, FusionResult, FusionScratch};
+use crate::types::{FusionOptions, FusionResult, FusionScratch};
 use std::time::Instant;
 
 /// ACCUCOPY.
@@ -84,6 +85,17 @@ impl FusionMethod for AccuCopy {
         let co_claims = known
             .is_none()
             .then(|| CoClaims::build(problem, self.min_shared_items));
+        let plans = ChunkPlans::from_options(&opts, problem);
+        let (item_plan, source_plan) = ChunkPlans::split(&plans);
+        // Pair axis plan for the per-round rescoring walk, balanced by each
+        // pair's co-claim entry count.
+        let pair_plan = match (&plans, &co_claims) {
+            (Some(_), Some(co)) if co.num_pairs() >= 2 => Some(ChunkPlan::balanced_by_extents(
+                &co.offsets,
+                opts.intra_day_chunks.min(co.num_pairs()),
+            )),
+            _ => None,
+        };
         // Reusable scratch: the probability plane, the per-item vote buffers,
         // the accuracy-ordered provider list, the per-source error rates, the
         // detected-copying matrix, and the trust accumulators — no
@@ -108,11 +120,15 @@ impl FusionMethod for AccuCopy {
         // Start from the dominant-value selection for the first copy-detection
         // pass.
         let mut selection = vec![0usize; problem.num_items()];
-        votes.clear();
-        votes.resize(problem.max_candidates(), 0.0);
-        adjusted.clear();
-        adjusted.resize(problem.max_candidates(), 0.0);
-        ordered_providers.clear();
+        // Per-item (votes, adjusted, ordered_providers) scratch. The
+        // sequential path keeps reusing the warm FusionScratch buffers (taken
+        // here, restored below); chunked runs allocate a fresh triple per
+        // chunk.
+        let mut item_scratch = (
+            std::mem::take(votes),
+            std::mem::take(adjusted),
+            std::mem::take(ordered_providers),
+        );
 
         let mut rounds = 0usize;
         for _ in 0..effective_rounds(&opts) {
@@ -127,57 +143,81 @@ impl FusionMethod for AccuCopy {
                         self.prior,
                         error_rates,
                         detected,
+                        source_plan,
+                        pair_plan.as_ref(),
                     );
                     detected
                 }
                 (None, None) => unreachable!("co-claims are built whenever no oracle is given"),
             };
-            for (i, item) in problem.items().enumerate() {
-                let num_candidates = item.num_candidates();
-                let attr = item.attr();
-                // Independence-discounted vote: order providers by accuracy
-                // and discount each by the probability that it copied from an
-                // earlier provider of the same value.
-                for (c, cand) in item.candidates().enumerate() {
-                    ordered_providers.clear();
-                    ordered_providers.extend_from_slice(cand.providers());
-                    // The index tiebreak makes the order a strict total order
-                    // over distinct provider indices, so the unstable sort is
-                    // deterministic.
-                    ordered_providers.sort_unstable_by(|&a, &b| {
-                        trust
-                            .of(b as usize, attr)
-                            .partial_cmp(&trust.of(a as usize, attr))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.cmp(&b))
-                    });
-                    let mut vote = 0.0;
-                    for (k, &s) in ordered_providers.iter().enumerate() {
-                        let mut independent = 1.0;
-                        for &earlier in &ordered_providers[..k] {
-                            let p = copy_probs.get(s as usize, earlier as usize);
-                            independent *= 1.0 - self.copy_rate * p;
+            let trust_r = &trust;
+            chunking::for_each_item(
+                probabilities,
+                item_plan,
+                &mut item_scratch,
+                Default::default,
+                |i, out, scratch: &mut (Vec<f64>, Vec<f64>, Vec<u32>)| {
+                    let (votes, adjusted, ordered_providers) = scratch;
+                    let item = problem.item(i);
+                    let num_candidates = item.num_candidates();
+                    let attr = item.attr();
+                    votes.clear();
+                    votes.resize(num_candidates, 0.0);
+                    adjusted.clear();
+                    adjusted.resize(num_candidates, 0.0);
+                    // Independence-discounted vote: order providers by
+                    // accuracy and discount each by the probability that it
+                    // copied from an earlier provider of the same value.
+                    for (c, cand) in item.candidates().enumerate() {
+                        ordered_providers.clear();
+                        ordered_providers.extend_from_slice(cand.providers());
+                        // The index tiebreak makes the order a strict total
+                        // order over distinct provider indices, so the
+                        // unstable sort is deterministic.
+                        ordered_providers.sort_unstable_by(|&a, &b| {
+                            trust_r
+                                .of(b as usize, attr)
+                                .partial_cmp(&trust_r.of(a as usize, attr))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.cmp(&b))
+                        });
+                        let mut vote = 0.0;
+                        for (k, &s) in ordered_providers.iter().enumerate() {
+                            let mut independent = 1.0;
+                            for &earlier in &ordered_providers[..k] {
+                                let p = copy_probs.get(s as usize, earlier as usize);
+                                independent *= 1.0 - self.copy_rate * p;
+                            }
+                            vote += independent
+                                * self
+                                    .base
+                                    .provider_score(trust_r.of(s as usize, attr), item, c);
                         }
-                        vote += independent
-                            * self.base.provider_score(trust.of(s as usize, attr), item, c);
+                        votes[c] = vote;
                     }
-                    votes[c] = vote;
-                }
-                for (c, cand) in item.candidates().enumerate() {
-                    let mut v = votes[c];
-                    for &(j, sim) in cand.similar() {
-                        v += self.base.rho * sim * votes[j as usize];
+                    for (c, cand) in item.candidates().enumerate() {
+                        let mut v = votes[c];
+                        for &(j, sim) in cand.similar() {
+                            v += self.base.rho * sim * votes[j as usize];
+                        }
+                        for &j in cand.coarse_supporters() {
+                            v += self.base.format_weight * votes[j as usize];
+                        }
+                        adjusted[c] = v;
                     }
-                    for &j in cand.coarse_supporters() {
-                        v += self.base.format_weight * votes[j as usize];
-                    }
-                    adjusted[c] = v;
-                }
-                softmax_into(&adjusted[..num_candidates], probabilities.item_mut(i));
-            }
-            argmax_selection_into(probabilities, &mut selection);
+                    softmax_into(&adjusted[..num_candidates], out);
+                },
+            );
+            chunking::argmax_plane_into(probabilities, item_plan, &mut selection);
             let mut new_trust = trust.clone();
-            update_trust_from_scores(problem, probabilities, &opts, &mut new_trust, trust_acc);
+            update_trust_from_scores(
+                problem,
+                probabilities,
+                &opts,
+                &mut new_trust,
+                trust_acc,
+                source_plan,
+            );
             clamp_trust(&mut new_trust, 0.01, 0.99);
             let change = new_trust.max_change(&trust);
             trust = new_trust;
@@ -185,6 +225,9 @@ impl FusionMethod for AccuCopy {
                 break;
             }
         }
+        *votes = std::mem::take(&mut item_scratch.0);
+        *adjusted = std::mem::take(&mut item_scratch.1);
+        *ordered_providers = std::mem::take(&mut item_scratch.2);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -303,6 +346,13 @@ impl CoClaims {
     ///
     /// `error_rates` is caller-provided scratch of length `num_sources`,
     /// reused across rounds.
+    ///
+    /// `source_plan` chunks the per-source error-rate pass and `pair_plan`
+    /// chunks the per-pair log-likelihood walk; both phases are independent
+    /// per slot, so any plan yields bit-identical scores (each pair still sums
+    /// its own co-claim entries in item order). Pass `None` for the sequential
+    /// walk.
+    #[allow(clippy::too_many_arguments)]
     pub fn rescore(
         &self,
         problem: &FusionProblem,
@@ -311,28 +361,33 @@ impl CoClaims {
         prior: f64,
         error_rates: &mut [f64],
         out: &mut CopyMatrix,
+        source_plan: Option<&ChunkPlan>,
+        pair_plan: Option<&ChunkPlan>,
     ) {
         out.clear();
         // Error rate of each source w.r.t. the current selection.
-        for (rate, claims) in error_rates.iter_mut().zip(problem.claims_by_source()) {
+        chunking::for_each_slot(error_rates, source_plan, |s, rate| {
+            let claims = problem.claims(s);
             if claims.is_empty() {
                 *rate = 0.2;
-                continue;
+                return;
             }
             let wrong = claims
                 .iter()
                 .filter(|&&(i, c)| selection.get(i as usize).copied().unwrap_or(0) != c as usize)
                 .count();
             *rate = (wrong as f64 / claims.len() as f64).clamp(0.01, 0.99);
-        }
+        });
 
         let c = copy_rate.clamp(1e-6, 1.0 - 1e-6);
         let prior = prior.clamp(1e-6, 1.0 - 1e-6);
         let prior_logit = (prior / (1.0 - prior)).ln();
         let n = 10.0;
-        for (p, &(a, b)) in self.pairs.iter().enumerate() {
-            let ea = error_rates[a as usize];
-            let eb = error_rates[b as usize];
+        let error_rates_r: &[f64] = error_rates;
+        let score_pair = |p: usize| -> f64 {
+            let (a, b) = self.pairs[p];
+            let ea = error_rates_r[a as usize];
+            let eb = error_rates_r[b as usize];
             // The three case probabilities depend only on the pair's error
             // rates, so the two possible log-likelihood-ratio increments are
             // computed once per pair instead of twice-ln per shared item.
@@ -356,7 +411,26 @@ impl CoClaims {
                 llr_diff,
             );
             let logit = llr + prior_logit;
-            out.set(a as usize, b as usize, 1.0 / (1.0 + (-logit).exp()));
+            1.0 / (1.0 + (-logit).exp())
+        };
+        match pair_plan {
+            None => {
+                for (p, &(a, b)) in self.pairs.iter().enumerate() {
+                    out.set(a as usize, b as usize, score_pair(p));
+                }
+            }
+            Some(plan) => {
+                // The matrix slots of a pair range are scattered across the
+                // triangular layout, so the chunked walk scores into a dense
+                // per-pair buffer first and scatters sequentially.
+                let mut probs = vec![0.0; self.pairs.len()];
+                chunking::for_each_slot(&mut probs, Some(plan), |p, slot| {
+                    *slot = score_pair(p);
+                });
+                for (p, &(a, b)) in self.pairs.iter().enumerate() {
+                    out.set(a as usize, b as usize, probs[p]);
+                }
+            }
         }
     }
 }
@@ -389,6 +463,8 @@ pub fn detect_copying(
         prior,
         &mut error_rates,
         &mut out,
+        None,
+        None,
     );
     out
 }

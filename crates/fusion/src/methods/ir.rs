@@ -12,11 +12,10 @@
 //! rescaling of all scores to `[0, 1]`; 3-ESTIMATES additionally estimates a
 //! per-item difficulty that dampens votes on hard items.
 
+use crate::chunking::{self, ChunkPlans};
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{
-    argmax_selection, rescale_to_unit, FusionOptions, FusionResult, FusionScratch, TrustEstimate,
-};
+use crate::types::{rescale_to_unit, FusionOptions, FusionResult, FusionScratch, TrustEstimate};
 use std::time::Instant;
 
 /// COSINE: source trust is the cosine similarity between the source's ±1
@@ -56,6 +55,8 @@ impl FusionMethod for Cosine {
     ) -> FusionResult {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 0.8);
+        let plans = ChunkPlans::from_options(options, problem);
+        let (item_plan, source_plan) = ChunkPlans::split(&plans);
         let estimates = &mut scratch.plane;
         estimates.reset_for(problem);
         let mut rounds = 0usize;
@@ -63,36 +64,44 @@ impl FusionMethod for Cosine {
             rounds += 1;
             // Truth estimate per candidate in [-1, 1]: supporters minus
             // opponents, normalized by the total trust on the item.
-            for (i, item) in problem.items().enumerate() {
-                let total: f64 = item
-                    .providers()
-                    .iter()
-                    .map(|&s| trust.overall[s as usize])
-                    .sum();
-                let out = estimates.item_mut(i);
-                for (c, cand) in item.candidates().enumerate() {
-                    let support: f64 = cand
+            let trust_r = &trust;
+            chunking::for_each_item(
+                estimates,
+                item_plan,
+                &mut (),
+                || (),
+                |i, out, _| {
+                    let item = problem.item(i);
+                    let total: f64 = item
                         .providers()
                         .iter()
-                        .map(|&s| trust.overall[s as usize])
+                        .map(|&s| trust_r.overall[s as usize])
                         .sum();
-                    let oppose = total - support;
-                    out[c] = if total > 0.0 {
-                        (support - oppose) / total
-                    } else {
-                        0.0
-                    };
-                }
-            }
+                    for (c, cand) in item.candidates().enumerate() {
+                        let support: f64 = cand
+                            .providers()
+                            .iter()
+                            .map(|&s| trust_r.overall[s as usize])
+                            .sum();
+                        let oppose = total - support;
+                        out[c] = if total > 0.0 {
+                            (support - oppose) / total
+                        } else {
+                            0.0
+                        };
+                    }
+                },
+            );
             // Cosine similarity between each source's ±1 vector and the
             // estimates at the positions the source covers.
             let mut new_trust = vec![0.0; problem.num_sources()];
-            for (s, claims) in problem.claims_by_source().enumerate() {
+            let estimates_r: &_ = estimates;
+            chunking::for_each_slot(&mut new_trust, source_plan, |s, slot| {
                 let mut dot = 0.0_f64;
                 let mut claim_norm = 0.0_f64;
                 let mut est_norm = 0.0_f64;
-                for &(i, c) in claims {
-                    for (c2, &e) in estimates.item(i as usize).iter().enumerate() {
+                for &(i, c) in problem.claims(s) {
+                    for (c2, &e) in estimates_r.item(i as usize).iter().enumerate() {
                         let claim_entry = if c2 == c as usize { 1.0 } else { -1.0 };
                         dot += claim_entry * e;
                         claim_norm += 1.0;
@@ -101,9 +110,9 @@ impl FusionMethod for Cosine {
                 }
                 let denom = claim_norm.sqrt() * est_norm.sqrt();
                 let cosine = if denom > 1e-12 { dot / denom } else { 0.0 };
-                new_trust[s] =
-                    self.damping * trust.overall[s] + (1.0 - self.damping) * cosine.clamp(0.0, 1.0);
-            }
+                *slot =
+                    self.damping * trust_r.overall[s] + (1.0 - self.damping) * cosine.clamp(0.0, 1.0);
+            });
             let new_estimate = TrustEstimate {
                 overall: new_trust,
                 per_attr: None,
@@ -114,7 +123,8 @@ impl FusionMethod for Cosine {
                 break;
             }
         }
-        let selection = argmax_selection(estimates);
+        let mut selection = Vec::new();
+        chunking::argmax_plane_into(estimates, item_plan, &mut selection);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -130,6 +140,8 @@ fn run_estimates(
 ) -> FusionResult {
     let start = Instant::now();
     let mut trust = initial_trust(problem, options, 0.8);
+    let plans = ChunkPlans::from_options(options, problem);
+    let (item_plan, source_plan) = ChunkPlans::split(&plans);
     let FusionScratch {
         plane: votes,
         item_f: hardness,
@@ -144,46 +156,59 @@ fn run_estimates(
         rounds += 1;
         // Complement-aware vote: providers contribute their (difficulty-
         // dampened) trust, non-providers contribute their distrust.
-        for (i, item) in problem.items().enumerate() {
-            let dampen = |t: f64| -> f64 {
-                if difficulty {
-                    t * (1.0 - hardness[i]) + 0.5 * hardness[i]
-                } else {
-                    t
-                }
-            };
-            let out = votes.item_mut(i);
-            for (c, cand) in item.candidates().enumerate() {
-                let mut vote = 0.0;
-                for &s in item.providers() {
-                    let t = dampen(trust.overall[s as usize]);
-                    if cand.providers().contains(&s) {
-                        vote += t;
+        let trust_r = &trust;
+        let hardness_r: &[f64] = hardness;
+        chunking::for_each_item(
+            votes,
+            item_plan,
+            &mut (),
+            || (),
+            |i, out, _| {
+                let item = problem.item(i);
+                let dampen = |t: f64| -> f64 {
+                    if difficulty {
+                        t * (1.0 - hardness_r[i]) + 0.5 * hardness_r[i]
                     } else {
-                        vote += 1.0 - t;
+                        t
                     }
+                };
+                for (c, cand) in item.candidates().enumerate() {
+                    let mut vote = 0.0;
+                    for &s in item.providers() {
+                        let t = dampen(trust_r.overall[s as usize]);
+                        if cand.providers().contains(&s) {
+                            vote += t;
+                        } else {
+                            vote += 1.0 - t;
+                        }
+                    }
+                    out[c] = vote / item.num_providers().max(1) as f64;
                 }
-                out[c] = vote / item.num_providers().max(1) as f64;
-            }
-        }
+            },
+        );
         // Affine rescaling of all votes to [0, 1] — the plane is already the
-        // flat item-major vector the old code materialized each round.
-        rescale_to_unit(votes.values_mut());
+        // flat item-major vector the old code materialized each round; the
+        // chunked variant splits into the exact global min/max reduction and
+        // a per-chunk elementwise pass.
+        chunking::rescale_plane_to_unit(votes, item_plan);
         // Difficulty update: items whose best value is uncertain are hard.
+        // Per item, so the item plan chunks it directly.
         if difficulty {
-            for (i, h) in hardness.iter_mut().enumerate() {
-                let best = votes.item(i).iter().cloned().fold(0.0, f64::max);
+            let votes_r: &_ = votes;
+            chunking::for_each_slot(hardness, item_plan, |i, h| {
+                let best = votes_r.item(i).iter().cloned().fold(0.0, f64::max);
                 *h = (1.0 - best).clamp(0.0, 1.0);
-            }
+            });
         }
         // Trust update: average over claimed values' votes and the complement
         // of the competing values' votes; then affine rescaling.
         let mut new_trust = vec![0.0; problem.num_sources()];
-        for (s, claims) in problem.claims_by_source().enumerate() {
+        let votes_r: &_ = votes;
+        chunking::for_each_slot(&mut new_trust, source_plan, |s, slot| {
             let mut acc = 0.0;
             let mut count = 0usize;
-            for &(i, c) in claims {
-                for (c2, &v) in votes.item(i as usize).iter().enumerate() {
+            for &(i, c) in problem.claims(s) {
+                for (c2, &v) in votes_r.item(i as usize).iter().enumerate() {
                     if c2 == c as usize {
                         acc += v;
                     } else {
@@ -192,8 +217,8 @@ fn run_estimates(
                     count += 1;
                 }
             }
-            new_trust[s] = if count == 0 { 0.5 } else { acc / count as f64 };
-        }
+            *slot = if count == 0 { 0.5 } else { acc / count as f64 };
+        });
         rescale_to_unit(&mut new_trust);
         let new_estimate = TrustEstimate {
             overall: new_trust,
@@ -205,7 +230,8 @@ fn run_estimates(
             break;
         }
     }
-    let selection = argmax_selection(votes);
+    let mut selection = Vec::new();
+    chunking::argmax_plane_into(votes, item_plan, &mut selection);
     FusionResult::from_selection(name, problem, selection, trust, rounds, start)
 }
 

@@ -4,6 +4,7 @@
 //! row of Table 7; its precision equals the dominant-value precision studied
 //! in Section 3.2 (Figure 7).
 
+use crate::chunking::{self, ChunkPlans};
 use crate::methods::FusionMethod;
 use crate::problem::FusionProblem;
 use crate::types::{FusionOptions, FusionResult, FusionScratch, TrustEstimate};
@@ -23,31 +24,30 @@ impl FusionMethod for Vote {
     fn run_with_scratch(
         &self,
         problem: &FusionProblem,
-        _options: &FusionOptions,
+        options: &FusionOptions,
         _scratch: &mut FusionScratch,
     ) -> FusionResult {
         let start = Instant::now();
+        let plans = ChunkPlans::from_options(options, problem);
+        let (_item_plan, source_plan) = ChunkPlans::split(&plans);
         // Candidates are ordered by descending support, so the dominant value
         // is always candidate 0.
         let selection = vec![0usize; problem.num_items()];
 
         // VOTE does not estimate trust; report each source's agreement with
         // the dominant values, which is the natural a-posteriori reading.
-        let mut agree = vec![0usize; problem.num_sources()];
-        let mut total = vec![0usize; problem.num_sources()];
-        for (s, claims) in problem.claims_by_source().enumerate() {
-            for &(_item, cand) in claims {
-                total[s] += 1;
-                if cand == 0 {
-                    agree[s] += 1;
-                }
-            }
-        }
-        let overall = agree
-            .iter()
-            .zip(&total)
-            .map(|(a, t)| if *t == 0 { 0.0 } else { *a as f64 / *t as f64 })
-            .collect();
+        // Each source owns its slot, so the source plan chunks it directly
+        // (counts are integers — bit-identity is trivial).
+        let mut overall = vec![0.0f64; problem.num_sources()];
+        chunking::for_each_slot(&mut overall, source_plan, |s, slot| {
+            let claims = problem.claims(s);
+            let agree = claims.iter().filter(|&&(_item, cand)| cand == 0).count();
+            *slot = if claims.is_empty() {
+                0.0
+            } else {
+                agree as f64 / claims.len() as f64
+            };
+        });
 
         FusionResult::from_selection(
             &self.name(),

@@ -13,11 +13,10 @@
 //! drifts far away from sampled accuracies, reproducing the large trust
 //! deviation the paper reports for it).
 
+use crate::chunking::{self, ChunkPlans};
 use crate::methods::{effective_rounds, initial_trust, FusionMethod};
 use crate::problem::FusionProblem;
-use crate::types::{
-    argmax_selection, normalize_by_max, FusionOptions, FusionResult, FusionScratch, TrustEstimate,
-};
+use crate::types::{normalize_by_max, FusionOptions, FusionResult, FusionScratch, TrustEstimate};
 use std::time::Instant;
 
 /// HUB (Kleinberg-style sums): a value's vote is the sum of its providers'
@@ -72,23 +71,27 @@ impl FusionMethod for Hub {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
         let max_rounds = effective_rounds(options);
+        let plans = ChunkPlans::from_options(options, problem);
+        let (item_plan, source_plan) = ChunkPlans::split(&plans);
         let votes = &mut scratch.plane;
         // Fused refill-accumulate: the plane is shaped for `problem` and
         // filled with the first round's votes in one pass (no intermediate
         // zero-fill); subsequent rounds re-accumulate at the loop tail only
         // when another iteration actually runs.
-        votes.refill_accumulate(problem, &trust);
+        votes.refill_accumulate_chunked(problem, &trust, item_plan);
         let mut rounds = 0usize;
         loop {
             rounds += 1;
-            normalize_by_max(votes.values_mut());
+            chunking::normalize_plane_by_max(votes, item_plan);
             let mut new_trust = vec![0.0; problem.num_sources()];
-            for (s, claims) in problem.claims_by_source().enumerate() {
-                new_trust[s] = claims
+            let votes_r: &_ = votes;
+            chunking::for_each_slot(&mut new_trust, source_plan, |s, slot| {
+                *slot = problem
+                    .claims(s)
                     .iter()
-                    .map(|&(i, c)| votes.get(i as usize, c as usize))
+                    .map(|&(i, c)| votes_r.get(i as usize, c as usize))
                     .sum();
-            }
+            });
             normalize_by_max(&mut new_trust);
             let new_estimate = TrustEstimate {
                 overall: new_trust,
@@ -99,9 +102,10 @@ impl FusionMethod for Hub {
             if change < options.epsilon || rounds >= max_rounds {
                 break;
             }
-            votes.accumulate_weighted_votes(problem, &trust);
+            votes.accumulate_weighted_votes_chunked(problem, &trust, item_plan);
         }
-        let selection = argmax_selection(votes);
+        let mut selection = Vec::new();
+        chunking::argmax_plane_into(votes, item_plan, &mut selection);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -120,25 +124,29 @@ impl FusionMethod for AvgLog {
         let start = Instant::now();
         let mut trust = initial_trust(problem, options, 1.0);
         let max_rounds = effective_rounds(options);
+        let plans = ChunkPlans::from_options(options, problem);
+        let (item_plan, source_plan) = ChunkPlans::split(&plans);
         let votes = &mut scratch.plane;
         // Same fused refill-accumulate structure as HUB above.
-        votes.refill_accumulate(problem, &trust);
+        votes.refill_accumulate_chunked(problem, &trust, item_plan);
         let mut rounds = 0usize;
         loop {
             rounds += 1;
-            normalize_by_max(votes.values_mut());
+            chunking::normalize_plane_by_max(votes, item_plan);
             let mut new_trust = vec![0.0; problem.num_sources()];
-            for (s, claims) in problem.claims_by_source().enumerate() {
+            let votes_r: &_ = votes;
+            chunking::for_each_slot(&mut new_trust, source_plan, |s, slot| {
+                let claims = problem.claims(s);
                 if claims.is_empty() {
-                    continue;
+                    return;
                 }
                 let avg: f64 = claims
                     .iter()
-                    .map(|&(i, c)| votes.get(i as usize, c as usize))
+                    .map(|&(i, c)| votes_r.get(i as usize, c as usize))
                     .sum::<f64>()
                     / claims.len() as f64;
-                new_trust[s] = (1.0 + claims.len() as f64).ln() * avg;
-            }
+                *slot = (1.0 + claims.len() as f64).ln() * avg;
+            });
             normalize_by_max(&mut new_trust);
             let new_estimate = TrustEstimate {
                 overall: new_trust,
@@ -149,9 +157,10 @@ impl FusionMethod for AvgLog {
             if change < options.epsilon || rounds >= max_rounds {
                 break;
             }
-            votes.accumulate_weighted_votes(problem, &trust);
+            votes.accumulate_weighted_votes_chunked(problem, &trust, item_plan);
         }
-        let selection = argmax_selection(votes);
+        let mut selection = Vec::new();
+        chunking::argmax_plane_into(votes, item_plan, &mut selection);
         FusionResult::from_selection(&self.name(), problem, selection, trust, rounds, start)
     }
 }
@@ -167,6 +176,8 @@ fn run_invest(
 ) -> FusionResult {
     let start = Instant::now();
     let mut trust = initial_trust(problem, options, 1.0);
+    let plans = ChunkPlans::from_options(options, problem);
+    let (item_plan, source_plan) = ChunkPlans::split(&plans);
     // Reusable buffers: the vote plane, the per-source investment, and the
     // per-item non-linear-growth scratch.
     let FusionScratch {
@@ -179,7 +190,6 @@ fn run_invest(
     invested.clear();
     invested.resize(problem.num_sources(), 0.0);
     grown.clear();
-    grown.resize(problem.max_candidates(), 0.0);
     let mut rounds = 0usize;
     for _ in 0..effective_rounds(options) {
         rounds += 1;
@@ -191,57 +201,75 @@ fn run_invest(
                 trust.overall[s] / claims.len() as f64
             };
         }
-        // Accumulated investment per candidate.
-        for (i, item) in problem.items().enumerate() {
-            let out = votes.item_mut(i);
-            for (slot, cand) in out.iter_mut().zip(item.candidates()) {
-                *slot = cand
-                    .providers()
-                    .iter()
-                    .map(|&s| invested[s as usize])
-                    .sum::<f64>();
-            }
-        }
+        let invested_r: &[f64] = invested;
+        // Accumulated investment per candidate (per item, so any item-range
+        // chunking is embarrassingly parallel).
+        chunking::for_each_item(
+            votes,
+            item_plan,
+            &mut (),
+            || (),
+            |i, out, _| {
+                let item = problem.item(i);
+                for (slot, cand) in out.iter_mut().zip(item.candidates()) {
+                    *slot = cand
+                        .providers()
+                        .iter()
+                        .map(|&s| invested_r[s as usize])
+                        .sum::<f64>();
+                }
+            },
+        );
         // Non-linear growth, optionally rescaled per item so the votes sum to
-        // the total investment on the item.
-        for i in 0..problem.num_items() {
-            let item_votes = votes.item_mut(i);
-            let total: f64 = item_votes.iter().sum();
-            let grown = &mut grown[..item_votes.len()];
-            for (g, h) in grown.iter_mut().zip(item_votes.iter()) {
-                *g = h.powf(growth);
-            }
-            let grown_total: f64 = grown.iter().sum();
-            for (slot, g) in item_votes.iter_mut().zip(grown.iter()) {
-                *slot = if pooled {
-                    if grown_total > 0.0 {
-                        g / grown_total * total
+        // the total investment on the item. The `total` / `grown_total` sums
+        // are *per item*, so this phase is also embarrassingly parallel; the
+        // chunked path gets a fresh growth buffer per chunk.
+        chunking::for_each_item(
+            votes,
+            item_plan,
+            grown,
+            Vec::new,
+            |_, item_votes, grown: &mut Vec<f64>| {
+                let total: f64 = item_votes.iter().sum();
+                grown.clear();
+                grown.resize(item_votes.len(), 0.0);
+                for (g, h) in grown.iter_mut().zip(item_votes.iter()) {
+                    *g = h.powf(growth);
+                }
+                let grown_total: f64 = grown.iter().sum();
+                for (slot, g) in item_votes.iter_mut().zip(grown.iter()) {
+                    *slot = if pooled {
+                        if grown_total > 0.0 {
+                            g / grown_total * total
+                        } else {
+                            0.0
+                        }
                     } else {
-                        0.0
-                    }
-                } else {
-                    *g
-                };
-            }
-        }
+                        *g
+                    };
+                }
+            },
+        );
 
         // Pay the votes back to the investors, proportionally to their share
-        // of the investment.
+        // of the investment. Each source's claim-order sum lands in its own
+        // slot, so the source axis chunks without re-association.
         let mut new_trust = vec![0.0; problem.num_sources()];
-        for (s, claims) in problem.claims_by_source().enumerate() {
-            for &(i, c) in claims {
+        let votes_r: &_ = votes;
+        chunking::for_each_slot(&mut new_trust, source_plan, |s, slot| {
+            for &(i, c) in problem.claims(s) {
                 let total_investment: f64 = problem
                     .item(i as usize)
                     .candidate(c as usize)
                     .providers()
                     .iter()
-                    .map(|&p| invested[p as usize])
+                    .map(|&p| invested_r[p as usize])
                     .sum();
                 if total_investment > 0.0 {
-                    new_trust[s] += votes.get(i as usize, c as usize) * invested[s] / total_investment;
+                    *slot += votes_r.get(i as usize, c as usize) * invested_r[s] / total_investment;
                 }
             }
-        }
+        });
         if !pooled {
             normalize_by_max(&mut new_trust);
         }
@@ -255,7 +283,8 @@ fn run_invest(
             break;
         }
     }
-    let selection = argmax_selection(votes);
+    let mut selection = Vec::new();
+    chunking::argmax_plane_into(votes, item_plan, &mut selection);
     FusionResult::from_selection(name, problem, selection, trust, rounds, start)
 }
 

@@ -1,0 +1,227 @@
+//! Chunked-vs-sequential equivalence harness for intra-day parallel fusion.
+//!
+//! The contract of `fusion::chunking` is that the intra-day chunk count is
+//! invisible in the output: fixed chunk boundaries plus ordered merges make
+//! every method run **bit-identical** to its sequential run — same selection,
+//! same trust bits, same round count — for any chunk count, any thread count,
+//! and both trust modes. This suite pins that across:
+//!
+//! * all sixteen registry methods;
+//! * chunk counts that do not divide the item count (including more chunks
+//!   than items);
+//! * degenerate shapes — one item, a handful of items, single-candidate
+//!   items, ragged candidate rows;
+//! * `RAYON_NUM_THREADS` ∈ {1, 2, 4} (the pool size changes how chunk tasks
+//!   interleave, never what they compute);
+//! * random seeded collections (proptest) and the kitchen-sink scenario
+//!   world;
+//! * the evaluation-layer plumbing (`evaluate_method_with_chunks` must
+//!   reproduce `evaluate_method` rows, oracle copying included).
+
+use datagen::scenario::by_name;
+use datagen::{generate, stock_config};
+use datamodel::{AttrId, AttrKind, DomainSchema, ObjectId, Snapshot, SnapshotBuilder, SourceId,
+    Value};
+use evaluation::{evaluate_method, evaluate_method_with_chunks, same_results, EvaluationContext};
+use fusion::{all_methods, FusionOptions, FusionProblem};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Chunk counts chosen to not divide typical item counts, including "more
+/// chunks than anything in the problem".
+const CHUNK_COUNTS: [usize; 4] = [2, 3, 5, 16];
+
+/// Pool sizes the suite re-checks under. The rayon stand-in reads
+/// `RAYON_NUM_THREADS` per call, so an in-process `set_var` takes effect for
+/// the runs that follow.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn set_threads(n: usize) {
+    std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+}
+
+/// Run every registry method sequentially and at each chunk count, asserting
+/// bit-identical results (selection, trust bits, per-attribute trust, rounds,
+/// selected values).
+fn assert_all_methods_chunk_invariant(problem: &FusionProblem, base: &FusionOptions, label: &str) {
+    for (_, method) in all_methods() {
+        let sequential = method.run(problem, base);
+        let seq_bits: Vec<u64> = sequential.trust.overall.iter().map(|t| t.to_bits()).collect();
+        for chunks in CHUNK_COUNTS {
+            let opts = base.clone().with_intra_day_chunks(chunks);
+            let chunked = method.run(problem, &opts);
+            let name = &sequential.method;
+            assert_eq!(
+                sequential.selection, chunked.selection,
+                "{label}: {name} selection diverged at {chunks} chunks"
+            );
+            assert_eq!(
+                sequential.rounds, chunked.rounds,
+                "{label}: {name} rounds diverged at {chunks} chunks"
+            );
+            let chunk_bits: Vec<u64> =
+                chunked.trust.overall.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(
+                seq_bits, chunk_bits,
+                "{label}: {name} trust bits diverged at {chunks} chunks"
+            );
+            assert_eq!(
+                sequential.trust.per_attr, chunked.trust.per_attr,
+                "{label}: {name} per-attribute trust diverged at {chunks} chunks"
+            );
+            assert_eq!(
+                sequential.selected, chunked.selected,
+                "{label}: {name} selected values diverged at {chunks} chunks"
+            );
+        }
+    }
+}
+
+/// A one-item snapshot: two sources disagreeing on a single value.
+fn one_item_snapshot() -> Snapshot {
+    let mut schema = DomainSchema::new("chunk-edge");
+    schema.add_attribute("x", AttrKind::Numeric { scale: 100.0 }, false);
+    schema.add_source("a", false);
+    schema.add_source("b", false);
+    let mut b = SnapshotBuilder::new(0);
+    b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(1.0));
+    b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(2.0));
+    b.build(Arc::new(schema))
+}
+
+/// A few-item snapshot with ragged candidate rows: a four-way contested item,
+/// a single-provider item, and a unanimous two-provider item — fewer items
+/// than most chunk counts in [`CHUNK_COUNTS`].
+fn ragged_snapshot() -> Snapshot {
+    let mut schema = DomainSchema::new("chunk-ragged");
+    schema.add_attribute("x", AttrKind::Numeric { scale: 100.0 }, false);
+    for name in ["a", "b", "c", "d"] {
+        schema.add_source(name, false);
+    }
+    let mut b = SnapshotBuilder::new(0);
+    let a = AttrId(0);
+    // Item 0: four providers, three distinct values (ragged row).
+    b.add(SourceId(0), ObjectId(0), a, Value::number(10.0));
+    b.add(SourceId(1), ObjectId(0), a, Value::number(10.0));
+    b.add(SourceId(2), ObjectId(0), a, Value::number(55.0));
+    b.add(SourceId(3), ObjectId(0), a, Value::number(70.0));
+    // Item 1: one provider, one candidate.
+    b.add(SourceId(2), ObjectId(1), a, Value::number(12.0));
+    // Item 2: two providers, unanimous.
+    b.add(SourceId(0), ObjectId(2), a, Value::number(33.0));
+    b.add(SourceId(3), ObjectId(2), a, Value::number(33.0));
+    b.build(Arc::new(schema))
+}
+
+/// The option sets every fixture is exercised under: standard, per-attribute
+/// trust, and oracle input trust.
+fn option_sets(num_sources: usize) -> Vec<(FusionOptions, &'static str)> {
+    let trust: Vec<f64> = (0..num_sources)
+        .map(|s| 0.5 + 0.4 * ((s % 7) as f64) / 7.0)
+        .collect();
+    vec![
+        (FusionOptions::standard(), "standard"),
+        (
+            FusionOptions::standard().with_per_attribute_trust(),
+            "per-attr",
+        ),
+        (
+            FusionOptions::standard().with_input_trust(trust),
+            "input-trust",
+        ),
+    ]
+}
+
+fn assert_snapshot_chunk_invariant(snapshot: &Snapshot, label: &str) {
+    let problem = FusionProblem::from_snapshot(snapshot);
+    for threads in THREAD_COUNTS {
+        set_threads(threads);
+        for (opts, mode) in option_sets(problem.num_sources()) {
+            assert_all_methods_chunk_invariant(
+                &problem,
+                &opts,
+                &format!("{label}/{mode}/threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn one_item_world_is_chunk_invariant() {
+    assert_snapshot_chunk_invariant(&one_item_snapshot(), "one-item");
+}
+
+#[test]
+fn ragged_few_item_world_is_chunk_invariant() {
+    assert_snapshot_chunk_invariant(&ragged_snapshot(), "ragged");
+}
+
+#[test]
+fn kitchen_sink_reference_day_is_chunk_invariant() {
+    let world = by_name("kitchen_sink").expect("kitchen_sink scenario").build();
+    let day = world.domain.collection.reference_day();
+    let problem = FusionProblem::from_snapshot(&day.snapshot);
+    for threads in THREAD_COUNTS {
+        set_threads(threads);
+        assert_all_methods_chunk_invariant(
+            &problem,
+            &FusionOptions::standard(),
+            &format!("kitchen-sink/threads={threads}"),
+        );
+    }
+}
+
+/// The evaluation layer forwards the chunk count to both the without-trust
+/// and the with-trust (oracle copying included) runs; rows must not change.
+#[test]
+fn evaluation_rows_are_chunk_invariant() {
+    let domain = generate(&stock_config(2012).scaled(0.02, 0.1));
+    let day = domain.collection.reference_day();
+    let report = copydetect::known_copying(day.snapshot.schema());
+    let context = EvaluationContext::new(&day.snapshot, &day.gold).with_known_copying(&report);
+    for threads in THREAD_COUNTS {
+        set_threads(threads);
+        for (category, method) in all_methods() {
+            let sequential = evaluate_method(&context, category, method.as_ref());
+            for chunks in [3usize, 8] {
+                let chunked =
+                    evaluate_method_with_chunks(&context, category, method.as_ref(), chunks);
+                assert!(
+                    same_results(
+                        std::slice::from_ref(&sequential),
+                        std::slice::from_ref(&chunked)
+                    ),
+                    "{} row diverged at {chunks} chunks, {threads} threads",
+                    sequential.method
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random seeded worlds: every method, every chunk count, every pool
+    /// size produces the sequential bits.
+    #[test]
+    fn random_worlds_are_chunk_invariant(
+        seed in 0u64..10_000,
+        scale in 0.004f64..0.012,
+    ) {
+        let domain = generate(&stock_config(seed).scaled(scale, 0.05));
+        let day = domain.collection.reference_day();
+        let problem = FusionProblem::from_snapshot(&day.snapshot);
+        prop_assert!(problem.num_items() >= 1);
+        for threads in THREAD_COUNTS {
+            set_threads(threads);
+            for (opts, mode) in option_sets(problem.num_sources()) {
+                assert_all_methods_chunk_invariant(
+                    &problem,
+                    &opts,
+                    &format!("seed={seed}/{mode}/threads={threads}"),
+                );
+            }
+        }
+    }
+}

@@ -79,6 +79,11 @@ fn golden_scale10_capacity() {
     assert_matches_golden("scale10_capacity", include_str!("golden/scale10_capacity.txt"));
 }
 
+#[test]
+fn golden_kitchen_sink() {
+    assert_matches_golden("kitchen_sink", include_str!("golden/kitchen_sink.txt"));
+}
+
 /// The checked-in files cover exactly the scenario registry — a new named
 /// scenario without a golden table (or a stale file for a removed one) fails
 /// here rather than going silently untested.
