@@ -36,6 +36,12 @@
 //! fan-out speedup — the ratio is flagged invalid rather than reported.
 //! Pass `--scale 10` to run the measurement on the full scale-10
 //! kitchen-sink world (~a million observations per day).
+//!
+//! The artifact also carries a `delta` record: a dirty-fraction sweep (1%,
+//! 10%, 50% changed claims per day) comparing the warm
+//! [`fusion::DeltaEngine`] against cold per-day re-preparation on a planted
+//! mutation stream ([`datagen::mutation_stream`]), exact mode asserted
+//! bit-identical and the bounded mode's re-fused item fraction reported.
 
 use bench::{ExpArgs, Json, Table};
 use datagen::GeneratedDomain;
@@ -366,6 +372,167 @@ fn intra_day_report(args: &ExpArgs, repeats: usize) -> Json {
         .field("intra_day_speedup_valid", Json::Bool(valid))
 }
 
+/// Delta-engine measurement: a dirty-fraction sweep (1%, 10%, 50% changed
+/// claims per day) over a planted day-over-day mutation stream on a neutral
+/// scenario world. For each fraction the same successor days run twice:
+/// cold — every day fully re-prepared on a warm [`evaluation::ShardArena`]
+/// (the strongest full-refill baseline: allocation-warm, full recompute) —
+/// and warm, on one [`fusion::DeltaEngine`] in exact mode (results asserted
+/// bit-identical to the cold pass). A bounded-mode pass reports how far the
+/// dirty-set frontier shrinks the re-fused item count. Per-pass wall times
+/// are medians of `repeats` samples.
+fn delta_report(args: &ExpArgs, repeats: usize) -> Json {
+    use evaluation::{DeltaUsage, ShardArena};
+    use fusion::{DeltaEngine, DeltaPolicy};
+
+    let world = datagen::Scenario::new("delta_sweep").with_seed(args.seed).build();
+    let base = &world.domain.collection.reference_day().snapshot;
+    let method_names = ["Vote", "Cosine"];
+    let methods: Vec<_> = method_names
+        .iter()
+        .map(|n| fusion::method_by_name(n).expect("delta sweep methods are registered"))
+        .collect();
+    let options = fusion::FusionOptions::standard();
+    let fractions = [0.01, 0.10, 0.50];
+    let num_days = 3usize;
+
+    let mut table = Table::new(
+        format!(
+            "Delta engine: warm re-fusion vs cold re-preparation ({} items, {} days x {} methods)",
+            base.num_items(),
+            num_days,
+            method_names.len()
+        ),
+        &["dirty", "cold (s)", "warm exact (s)", "speedup", "bounded (s)", "bounded re-fused"],
+    );
+    let mut sweep = Vec::new();
+    for &fraction in &fractions {
+        let stream = datagen::mutation_stream(base, num_days, fraction, args.seed);
+
+        // Correctness pass (also the warm-up): exact mode must match the
+        // cold full re-preparation bit for bit on every day and method.
+        {
+            let mut arena = ShardArena::new();
+            let mut engine = DeltaEngine::with_policy(DeltaPolicy::exact());
+            engine.advance(&stream.days[0]);
+            arena.prepare(&stream.days[0]);
+            for day in &stream.days[1..] {
+                engine.advance(day);
+                arena.prepare(day);
+                for method in &methods {
+                    let (warm, _) = engine.run(method.as_ref(), &options);
+                    let cold = arena.run(method.as_ref(), &options);
+                    assert_eq!(
+                        warm.selection,
+                        cold.selection,
+                        "delta exact selection diverged ({}, dirty {fraction})",
+                        method.name()
+                    );
+                    let wb: Vec<u64> = warm.trust.overall.iter().map(|t| t.to_bits()).collect();
+                    let cb: Vec<u64> = cold.trust.overall.iter().map(|t| t.to_bits()).collect();
+                    assert_eq!(
+                        wb,
+                        cb,
+                        "delta exact trust bits diverged ({}, dirty {fraction})",
+                        method.name()
+                    );
+                }
+            }
+        }
+
+        // Cold baseline: what a pipeline without warm state pays — each
+        // successor day builds its problem from scratch and every method
+        // runs with a throwaway scratch.
+        let mut cold_samples: Vec<Duration> = (0..repeats)
+            .map(|_| {
+                let start = Instant::now();
+                for day in &stream.days[1..] {
+                    let problem = fusion::FusionProblem::from_snapshot(day);
+                    for method in &methods {
+                        let _ = method.run(&problem, &options);
+                    }
+                }
+                start.elapsed()
+            })
+            .collect();
+        let cold_s = median_duration(&mut cold_samples).as_secs_f64();
+
+        // Warm passes: prime on the base day, then time advance + run over
+        // the successor days.
+        let time_warm = |policy: DeltaPolicy| -> (f64, DeltaUsage) {
+            let mut samples: Vec<Duration> = Vec::with_capacity(repeats);
+            let mut usage = DeltaUsage::default();
+            for rep in 0..repeats {
+                let mut engine = DeltaEngine::with_policy(policy.clone());
+                engine.advance(&stream.days[0]);
+                for method in &methods {
+                    let _ = engine.run(method.as_ref(), &options);
+                }
+                let mut rep_usage = DeltaUsage::default();
+                let start = Instant::now();
+                for day in &stream.days[1..] {
+                    rep_usage.record_advance(&engine.advance(day));
+                    for method in &methods {
+                        let (_, report) = engine.run(method.as_ref(), &options);
+                        rep_usage.record_run(&report);
+                    }
+                }
+                samples.push(start.elapsed());
+                if rep == 0 {
+                    usage = rep_usage;
+                }
+            }
+            (median_duration(&mut samples).as_secs_f64(), usage)
+        };
+        let (exact_s, exact_usage) = time_warm(DeltaPolicy::exact());
+        let (bounded_s, bounded_usage) = time_warm(DeltaPolicy::bounded());
+
+        let speedup = cold_s / exact_s.max(f64::MIN_POSITIVE);
+        table.row(&[
+            format!("{:.0}%", 100.0 * fraction),
+            format!("{cold_s:.3}"),
+            format!("{exact_s:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{bounded_s:.3}"),
+            format!(
+                "{}/{} ({:.1}%)",
+                bounded_usage.fused_items,
+                bounded_usage.total_items,
+                100.0 * bounded_usage.fused_fraction()
+            ),
+        ]);
+        sweep.push(
+            Json::object()
+                .field("dirty_fraction", Json::Number(fraction))
+                .field("cold_s", Json::Number(cold_s))
+                .field("warm_exact_s", Json::Number(exact_s))
+                .field("exact_speedup", Json::Number(speedup))
+                .field("warm_bounded_s", Json::Number(bounded_s))
+                .field(
+                    "bounded_fused_fraction",
+                    Json::Number(bounded_usage.fused_fraction()),
+                )
+                .field("full_refreshes", Json::int(exact_usage.full_refreshes))
+                .field(
+                    "mean_dirty_fraction",
+                    Json::Number(exact_usage.mean_dirty_fraction()),
+                ),
+        );
+    }
+    table.print();
+
+    Json::object()
+        .field("world", Json::string("delta_sweep"))
+        .field("num_items", Json::int(base.num_items()))
+        .field("days", Json::int(num_days))
+        .field(
+            "methods",
+            Json::Array(method_names.iter().map(|n| Json::string(*n)).collect()),
+        )
+        .field("repeats", Json::int(repeats))
+        .field("sweep", Json::Array(sweep))
+}
+
 fn main() {
     let args = ExpArgs::from_env();
     // The regression gate fails closed, and before any expensive work: a
@@ -382,6 +549,7 @@ fn main() {
     let stock_json = report(&stock, args.batch, args.repeats);
     let flight_json = report(&flight, args.batch, args.repeats);
     let intra_day = intra_day_report(&args, args.repeats);
+    let delta = delta_report(&args, args.repeats);
     println!(
         "Kernels: dispatched to the {} backend (CPU features: {})",
         fusion::kernels::backend_name(),
@@ -423,6 +591,7 @@ fn main() {
             ),
         )
         .field("intra_day", intra_day)
+        .field("delta", delta)
         .field("domains", Json::Array(vec![stock_json, flight_json]));
 
     // Load the baseline BEFORE writing the fresh artifact: the checked-in

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! exp_<name> [--scale S] [--days D] [--seed N] [--compare FILE]
-//!            [--batch] [--repeats N] [--fail-on-regression PCT]
+//!            [--batch] [--delta] [--repeats N] [--fail-on-regression PCT]
 //! ```
 //!
 //! * `--scale` multiplies the number of objects (default 0.25 — a quarter of
@@ -20,6 +20,11 @@
 //!   additionally runs the sharded warm-arena `BatchRunner` on the same
 //!   day selection, asserts its rows equal the sequential/parallel passes,
 //!   and reports wall-vs-wall speedup plus heap-allocation counts;
+//! * `--delta` (read by `exp_fig9_incremental` and `exp_table9_month`)
+//!   additionally runs the same workload on one warm [`fusion::DeltaEngine`]
+//!   (exact mode), asserts the rows equal the cold pass where the contract
+//!   guarantees it, and reports warm-vs-cold wall time plus re-fused item
+//!   counts;
 //! * `--repeats` (read by `exp_fig12_efficiency`) repeats the timed
 //!   sequential pass N times (default 3) and reports the per-method
 //!   **median**, which suppresses one-off scheduler noise on shared or
@@ -59,6 +64,10 @@ pub struct ExpArgs {
     /// Number of timed repeats of the sequential pass; per-method timings
     /// are the **median** across repeats (`--repeats N`, default 3).
     pub repeats: usize,
+    /// Also run the warm delta-engine leg and report warm-vs-cold wall time
+    /// plus re-fused item counts (`--delta`, read by `exp_fig9_incremental`
+    /// and `exp_table9_month`).
+    pub delta: bool,
     /// With `--compare`: exit non-zero when any per-method timing regressed
     /// by more than this many percent (`--fail-on-regression PCT`).
     pub fail_on_regression: Option<f64>,
@@ -97,6 +106,7 @@ impl Default for ExpArgs {
             compare: None,
             batch: false,
             repeats: 3,
+            delta: false,
             fail_on_regression: None,
             fail_on_regression_invalid: false,
             scenario: None,
@@ -158,6 +168,9 @@ impl ExpArgs {
                 },
                 "--batch" => {
                     parsed.batch = true;
+                }
+                "--delta" => {
+                    parsed.delta = true;
                 }
                 "--repeats" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
@@ -297,17 +310,20 @@ mod tests {
     fn batch_and_regression_flags_parse() {
         let parsed = ExpArgs::from_args(&args_of(&[
             "--batch",
+            "--delta",
             "--fail-on-regression",
             "7.5",
             "--scale",
             "0.5",
         ]));
         assert!(parsed.batch);
+        assert!(parsed.delta);
         assert_eq!(parsed.fail_on_regression, Some(7.5));
         assert_eq!(parsed.scale, 0.5);
 
         let defaults = ExpArgs::from_args(&args_of(&[]));
         assert!(!defaults.batch);
+        assert!(!defaults.delta);
         assert_eq!(defaults.fail_on_regression, None);
         assert!(!defaults.fail_on_regression_invalid);
     }

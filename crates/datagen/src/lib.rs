@@ -27,6 +27,9 @@ pub use config::{AttrSpec, DomainConfig, ErrorMix, GoldMode, GoldSpec, QualityFl
 pub use flight::flight_config;
 pub use generator::{generate, GeneratedDomain};
 pub use provenance::{ClaimOutcome, ClaimProvenance, DayProvenance, InconsistencyReason};
-pub use scenario::{edges_of_groups, Scenario, ScenarioWorld, GOLDEN_SEED, SCENARIO_NAMES};
+pub use scenario::{
+    edges_of_groups, mutation_stream, MutationStream, Scenario, ScenarioWorld, GOLDEN_SEED,
+    SCENARIO_NAMES,
+};
 pub use stock::stock_config;
 pub use world::TrueWorld;

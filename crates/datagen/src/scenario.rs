@@ -30,8 +30,11 @@
 use crate::config::{DomainConfig, SourceSpec};
 use crate::generator::{generate, GeneratedDomain};
 use crate::stock::stock_config;
-use datamodel::SourceId;
+use datamodel::{ItemId, Snapshot, SnapshotBuilder, SourceId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Seed used by every checked-in golden scenario world.
 pub const GOLDEN_SEED: u64 = 2012;
@@ -335,6 +338,105 @@ struct Annotations {
     zipf_ranked: Vec<SourceId>,
 }
 
+/// A day-over-day mutation stream with a planted, known dirty fraction —
+/// the workload the delta fusion engine is benchmarked on.
+///
+/// `days[0]` is the base snapshot; each successor perturbs exactly
+/// `⌈dirty_fraction × num_items⌉` numeric items of its predecessor (one
+/// changed claim per item) and is rebuilt with the base's tolerance context
+/// pinned ([`SnapshotBuilder::build_with_tolerance`]), so the observed
+/// [`datamodel::SnapshotDelta`] between consecutive days equals the planted
+/// dirty set exactly — no tolerance recomputation smears the dirt across the
+/// whole attribute.
+#[derive(Debug, Clone)]
+pub struct MutationStream {
+    /// The snapshots: the base first, then the mutated successors.
+    pub days: Vec<Snapshot>,
+    /// Planted dirty items per transition (`days[i]` → `days[i + 1]`).
+    pub dirty_sets: Vec<BTreeSet<ItemId>>,
+    /// The requested per-transition dirty fraction.
+    pub dirty_fraction: f64,
+}
+
+/// Build a deterministic day-over-day mutation stream over `base`: `num_days`
+/// successor snapshots, each perturbing `⌈dirty_fraction × num_items⌉`
+/// numeric items of the previous day (one claim per item gets its value
+/// nudged, so the item and exactly one of its sources go dirty).
+pub fn mutation_stream(
+    base: &Snapshot,
+    num_days: usize,
+    dirty_fraction: f64,
+    seed: u64,
+) -> MutationStream {
+    let dirty_fraction = dirty_fraction.clamp(0.0, 1.0);
+    // Items with at least one plain-numeric claim are eligible for
+    // perturbation; the item set is constant along the stream, so
+    // eligibility is computed once from the base.
+    let eligible: Vec<ItemId> = base
+        .items()
+        .filter(|(_, obs)| obs.iter().any(|o| matches!(o.value, Value::Number { .. })))
+        .map(|(item, _)| *item)
+        .collect();
+    let count = ((dirty_fraction * base.num_items() as f64).ceil() as usize).min(eligible.len());
+
+    let mut days = vec![base.clone()];
+    let mut dirty_sets = Vec::with_capacity(num_days);
+    for d in 0..num_days {
+        let prev = days.last().unwrap();
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_add((d as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        // Partial Fisher-Yates: the first `count` slots are a uniform sample
+        // of the eligible items, deterministic in (seed, day).
+        let mut pool: Vec<usize> = (0..eligible.len()).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let planted: BTreeSet<ItemId> = pool[..count].iter().map(|&i| eligible[i]).collect();
+
+        let mut builder = SnapshotBuilder::new(prev.day() + 1);
+        for (item, obs) in prev.items() {
+            if planted.contains(item) {
+                // Nudge one numeric claim of the item; every other claim is
+                // carried verbatim so exactly one source goes dirty.
+                let numeric: Vec<usize> = obs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| matches!(o.value, Value::Number { .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                let pick = numeric[rng.gen_range(0..numeric.len())];
+                for (i, o) in obs.iter().enumerate() {
+                    let value = if i == pick {
+                        let v = o.value.as_f64().expect("picked claim is numeric");
+                        let mut nudged = v * 1.1 + 1.0;
+                        if nudged == v {
+                            nudged = v + 1.0;
+                        }
+                        Value::number(nudged)
+                    } else {
+                        o.value.clone()
+                    };
+                    builder.add(o.source, item.object, item.attr, value);
+                }
+            } else {
+                for o in obs {
+                    builder.add(o.source, item.object, item.attr, o.value.clone());
+                }
+            }
+        }
+        days.push(builder.build_with_tolerance(base.schema_arc(), base.tolerance().clone()));
+        dirty_sets.push(planted);
+    }
+
+    MutationStream {
+        days,
+        dirty_sets,
+        dirty_fraction,
+    }
+}
+
 /// All unordered source pairs within each copy group: the ground-truth edge
 /// set copy detection is scored against. Pairs are emitted `(low, high)` in
 /// ascending order.
@@ -500,6 +602,53 @@ mod tests {
         // The long-row and ring sources sit on top of the base population.
         let base = stock_config(GOLDEN_SEED).num_sources();
         assert_eq!(world.scenario.config().num_sources(), base + 6 + 20);
+    }
+
+    #[test]
+    fn mutation_stream_plants_exactly_the_observed_delta() {
+        let world = Scenario::new("mutation_base").scaled_to(0.04).build();
+        let base = world.domain.reference_snapshot();
+        let stream = mutation_stream(base, 3, 0.1, 7);
+        assert_eq!(stream.days.len(), 4);
+        assert_eq!(stream.dirty_sets.len(), 3);
+        let expected = (0.1 * base.num_items() as f64).ceil() as usize;
+        for (i, planted) in stream.dirty_sets.iter().enumerate() {
+            assert_eq!(planted.len(), expected.min(base.num_items()));
+            let delta =
+                datamodel::SnapshotDelta::between(&stream.days[i], &stream.days[i + 1]);
+            // Pinned tolerances: the observed delta is exactly the planted
+            // set — one dirty source per dirty item, nothing added/removed.
+            assert_eq!(delta.dirty_items(), planted);
+            assert!(delta.removed_items().is_empty());
+            assert!(delta.added_sources().is_empty());
+            assert!(delta.removed_sources().is_empty());
+            assert!(delta.dirty_attrs().is_empty());
+            assert!(delta.dirty_sources().len() <= planted.len());
+            assert!((delta.dirty_fraction() - planted.len() as f64 / base.num_items() as f64)
+                .abs()
+                < 1e-12);
+        }
+        // Tolerances stay pinned to the base context along the whole stream.
+        for day in &stream.days {
+            assert_eq!(
+                day.tolerance().tolerance(datamodel::AttrId(0)),
+                base.tolerance().tolerance(datamodel::AttrId(0))
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_stream_is_deterministic_in_its_seed() {
+        let world = Scenario::new("mutation_det").scaled_to(0.03).build();
+        let base = world.domain.reference_snapshot();
+        let a = mutation_stream(base, 2, 0.05, 11);
+        let b = mutation_stream(base, 2, 0.05, 11);
+        assert_eq!(a.dirty_sets, b.dirty_sets);
+        let probe = *a.dirty_sets[0].iter().next().unwrap();
+        assert_eq!(a.days[1].observations(probe), b.days[1].observations(probe));
+        // A different seed plants different dirt.
+        let c = mutation_stream(base, 2, 0.05, 12);
+        assert_ne!(a.dirty_sets, c.dirty_sets);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod bucket;
 pub mod collection;
 pub mod csv;
+pub mod diff;
 pub mod gold;
 pub mod ids;
 pub mod schema;
@@ -30,6 +31,7 @@ pub mod value;
 pub use bucket::{bucket_values, Bucketer, Bucketing, ValueBucket};
 pub use csv::{write_snapshot, CsvError, CsvReader};
 pub use collection::{Collection, CollectionDay};
+pub use diff::SnapshotDelta;
 pub use gold::GoldStandard;
 pub use ids::{AttrId, ItemId, ObjectId, SourceId};
 pub use schema::{AttrKind, AttributeDef, DomainSchema, SourceInfo};

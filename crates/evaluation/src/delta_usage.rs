@@ -1,0 +1,140 @@
+//! Shared accounting for the delta-engine evaluation runners.
+//!
+//! Both temporal runners ([`crate::over_time::evaluate_over_time_delta`] and
+//! [`crate::incremental::incremental_recall_delta`]) drive one
+//! [`fusion::DeltaEngine`] across a sequence of snapshots; this module
+//! aggregates the engine's per-step reports into the summary the `--delta`
+//! bench legs print (re-fused item counts, fall-back and cache-hit counts,
+//! mean dirty fraction, preparation wall time).
+
+use fusion::delta::{AdvanceReport, RunReport};
+use std::time::Duration;
+
+/// Aggregated delta-engine activity over one runner invocation.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaUsage {
+    /// Snapshots advanced through (including the cold first one).
+    pub advances: usize,
+    /// Advances that fell back to a full re-preparation (first day included).
+    pub full_refreshes: usize,
+    /// Advances whose delta was empty (preparation skipped entirely).
+    pub identical_days: usize,
+    /// Run calls answered from the per-method cache without fusing.
+    pub cache_hits: usize,
+    /// Items actually re-fused, summed over every run call.
+    pub fused_items: usize,
+    /// Total item slots offered, summed over every run call.
+    pub total_items: usize,
+    /// Sum of per-advance dirty fractions over the non-first advances.
+    pub dirty_fraction_sum: f64,
+    /// Number of non-first advances folded into `dirty_fraction_sum`.
+    pub dirty_steps: usize,
+    /// Wall-clock time spent in `advance` (diff + partial refill).
+    pub prepare: Duration,
+}
+
+impl DeltaUsage {
+    /// Fold one [`AdvanceReport`] into the summary.
+    pub fn record_advance(&mut self, report: &AdvanceReport) {
+        self.advances += 1;
+        if report.full_refresh {
+            self.full_refreshes += 1;
+        }
+        if report.identical {
+            self.identical_days += 1;
+        }
+        if !report.first_day {
+            self.dirty_fraction_sum += report.dirty_fraction;
+            self.dirty_steps += 1;
+        }
+        self.prepare += report.prepare;
+    }
+
+    /// Fold one [`RunReport`] into the summary.
+    pub fn record_run(&mut self, report: &RunReport) {
+        if report.cache_hit {
+            self.cache_hits += 1;
+        }
+        self.fused_items += report.fused_items;
+        self.total_items += report.total_items;
+    }
+
+    /// Mean dirty fraction over the non-first advances (0 when none).
+    pub fn mean_dirty_fraction(&self) -> f64 {
+        if self.dirty_steps == 0 {
+            0.0
+        } else {
+            self.dirty_fraction_sum / self.dirty_steps as f64
+        }
+    }
+
+    /// Fraction of offered item slots that were actually re-fused.
+    pub fn fused_fraction(&self) -> f64 {
+        if self.total_items == 0 {
+            0.0
+        } else {
+            self.fused_items as f64 / self.total_items as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion::delta::DeltaMode;
+
+    #[test]
+    fn usage_accumulates_reports() {
+        let mut usage = DeltaUsage::default();
+        usage.record_advance(&AdvanceReport {
+            day: 0,
+            first_day: true,
+            identical: false,
+            full_refresh: true,
+            dirty_items: 10,
+            removed_items: 0,
+            dirty_sources: 3,
+            added_sources: 3,
+            removed_sources: 0,
+            dirty_fraction: 1.0,
+            prepare: Duration::from_millis(2),
+        });
+        usage.record_advance(&AdvanceReport {
+            day: 1,
+            first_day: false,
+            identical: false,
+            full_refresh: false,
+            dirty_items: 1,
+            removed_items: 0,
+            dirty_sources: 1,
+            added_sources: 0,
+            removed_sources: 0,
+            dirty_fraction: 0.1,
+            prepare: Duration::from_millis(1),
+        });
+        usage.record_run(&RunReport {
+            mode: DeltaMode::Bounded,
+            cache_hit: false,
+            full_run: false,
+            fused_items: 2,
+            total_items: 10,
+            frontier_sources: 1,
+            elapsed: Duration::from_millis(1),
+        });
+        usage.record_run(&RunReport {
+            mode: DeltaMode::Bounded,
+            cache_hit: true,
+            full_run: false,
+            fused_items: 0,
+            total_items: 10,
+            frontier_sources: 0,
+            elapsed: Duration::ZERO,
+        });
+        assert_eq!(usage.advances, 2);
+        assert_eq!(usage.full_refreshes, 1);
+        assert_eq!(usage.cache_hits, 1);
+        assert!((usage.mean_dirty_fraction() - 0.1).abs() < 1e-12);
+        assert!((usage.fused_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(usage.prepare, Duration::from_millis(3));
+    }
+}

@@ -8,10 +8,11 @@
 //! hurts.
 
 use crate::batch::ShardArena;
+use crate::delta_usage::DeltaUsage;
 use crate::metrics::precision_recall;
 use crate::runner::EvaluationContext;
 use datamodel::{GoldStandard, Snapshot, SourceId};
-use fusion::{method_by_name, FusionOptions};
+use fusion::{method_by_name, DeltaEngine, DeltaPolicy, FusionOptions};
 use serde::Serialize;
 
 /// Recall after adding the first `num_sources` sources.
@@ -54,12 +55,10 @@ pub fn sources_by_recall(snapshot: &Snapshot, gold: &GoldStandard) -> Vec<Source
         .active_sources()
         .into_iter()
         .map(|source| {
-            let mut judged = 0usize;
             let mut correct = 0usize;
             for (item, truth) in gold.iter() {
                 if let Some(value) = snapshot.value_of(source, *item) {
                     let tol = snapshot.tolerance().tolerance(item.attr);
-                    judged += 1;
                     if truth.matches(value, tol) || value.subsumes(truth) {
                         correct += 1;
                     }
@@ -67,7 +66,6 @@ pub fn sources_by_recall(snapshot: &Snapshot, gold: &GoldStandard) -> Vec<Source
             }
             // Recall of the single source: correct values over all gold items.
             let recall = correct as f64 / gold.len().max(1) as f64;
-            let _ = judged;
             (source, recall)
         })
         .collect();
@@ -125,6 +123,65 @@ pub fn incremental_recall(
     series
 }
 
+/// Run the Figure-9 experiment prefix-over-prefix on one warm
+/// [`DeltaEngine`].
+///
+/// Each prefix snapshot is built with
+/// [`Snapshot::restrict_to_sources_pinned`], which carries the full
+/// snapshot's tolerance context verbatim: growing the prefix then only adds
+/// sources, so consecutive prefixes differ by a pure source-axis delta and
+/// the engine splices the untouched item rows instead of re-bucketing the
+/// whole prefix. (The classic [`incremental_recall`] recomputes each prefix's
+/// tolerance from the restricted data, so the two runners can disagree on
+/// tolerance-sensitive items; within this runner,
+/// [`fusion::DeltaMode::Exact`] is still bit-identical to cold-preparing the
+/// same pinned prefixes, as pinned by the tests.)
+///
+/// Also returns the aggregated [`DeltaUsage`] for the
+/// `exp_fig9_incremental --delta` leg.
+pub fn incremental_recall_delta(
+    context: &EvaluationContext<'_>,
+    methods: &[&str],
+    step: usize,
+    policy: DeltaPolicy,
+) -> (Vec<IncrementalSeries>, DeltaUsage) {
+    let order = sources_by_recall(context.snapshot, context.gold);
+    let step = step.max(1);
+    let resolved: Vec<_> = methods
+        .iter()
+        .filter_map(|name| method_by_name(name))
+        .collect();
+    let mut series: Vec<IncrementalSeries> = resolved
+        .iter()
+        .map(|method| IncrementalSeries {
+            method: method.name(),
+            points: Vec::new(),
+        })
+        .collect();
+
+    let mut engine = DeltaEngine::with_policy(policy);
+    let mut usage = DeltaUsage::default();
+    let mut k = 1;
+    while k <= order.len() {
+        let restricted = context.snapshot.restrict_to_sources_pinned(&order[..k]);
+        usage.record_advance(&engine.advance(&restricted));
+        for (method, series) in resolved.iter().zip(series.iter_mut()) {
+            let (result, report) = engine.run(method.as_ref(), &FusionOptions::standard());
+            usage.record_run(&report);
+            let pr = precision_recall(context.snapshot, context.gold, &result);
+            series.points.push(IncrementalPoint {
+                num_sources: k,
+                recall: pr.recall,
+            });
+        }
+        if k == order.len() {
+            break;
+        }
+        k = (k + step).min(order.len());
+    }
+    (series, usage)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +229,45 @@ mod tests {
             assert!(s.points[0].recall <= s.peak().unwrap().recall + 1e-12);
             assert!(s.final_recall() >= 0.0);
         }
+    }
+
+    #[test]
+    fn delta_prefixes_match_cold_pinned_prefixes_bit_for_bit() {
+        let domain = generate(&stock_config(44).scaled(0.012, 0.1));
+        let day = domain.collection.reference_day();
+        let context = EvaluationContext::new(&day.snapshot, &day.gold);
+        let methods = ["Vote", "Cosine", "AccuPr"];
+        let (warm, usage) =
+            incremental_recall_delta(&context, &methods, 3, fusion::DeltaPolicy::exact());
+        assert_eq!(warm.len(), methods.len());
+
+        // Cold baseline: the same pinned prefixes, each prepared from scratch.
+        let order = sources_by_recall(&day.snapshot, &day.gold);
+        let mut arena = ShardArena::new();
+        let mut k = 1;
+        let mut point = 0usize;
+        while k <= order.len() {
+            let restricted = day.snapshot.restrict_to_sources_pinned(&order[..k]);
+            arena.prepare(&restricted);
+            for (name, series) in methods.iter().zip(&warm) {
+                let method = method_by_name(name).unwrap();
+                let result = arena.run(method.as_ref(), &FusionOptions::standard());
+                let pr = precision_recall(&day.snapshot, &day.gold, &result);
+                let got = series.points[point];
+                assert_eq!(got.num_sources, k);
+                assert_eq!(got.recall.to_bits(), pr.recall.to_bits(), "method {name} at k={k}");
+            }
+            point += 1;
+            if k == order.len() {
+                break;
+            }
+            k = (k + 3).min(order.len());
+        }
+        for series in &warm {
+            assert_eq!(series.points.len(), point);
+        }
+        assert_eq!(usage.advances, point);
+        assert!(usage.full_refreshes >= 1);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! without its per-day allocations.
 
 use crate::batch::{shard_plan, ShardArena};
+use crate::delta_usage::DeltaUsage;
 use crate::metrics::precision_recall;
 use datamodel::Collection;
-use fusion::{all_methods, FusionOptions};
+use fusion::{all_methods, DeltaEngine, DeltaPolicy, FusionOptions};
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -38,17 +39,7 @@ pub struct MethodOverTime {
 /// the rows are identical either way, exactly as before the sharded rewrite.
 pub fn evaluate_over_time(collection: &Collection, use_known_copying: bool) -> Vec<MethodOverTime> {
     let _ = use_known_copying;
-    let mut rows: Vec<MethodOverTime> = all_methods()
-        .iter()
-        .map(|(category, method)| MethodOverTime {
-            method: method.name(),
-            category: category.label().to_string(),
-            daily_precision: Vec::new(),
-            average: 0.0,
-            minimum: 0.0,
-            deviation: 0.0,
-        })
-        .collect();
+    let mut rows = method_rows();
 
     // Contiguous day shards, one warm arena per shard; each inner vector is
     // one day's per-method precisions, concatenated back in day order.
@@ -81,7 +72,70 @@ pub fn evaluate_over_time(collection: &Collection, use_known_copying: bool) -> V
         }
     }
 
-    for row in &mut rows {
+    summarize(&mut rows);
+    rows
+}
+
+/// Run every method on every day of a collection through one warm
+/// [`DeltaEngine`] (day-over-day delta'd preparation instead of per-day cold
+/// refills) and summarize.
+///
+/// In [`fusion::DeltaMode::Exact`] the returned rows are bit-identical to
+/// [`evaluate_over_time`]: each day's problem is spliced from the previous
+/// day's CSR state (or fully refreshed when the dirty fraction exceeds the
+/// policy threshold) and every method re-runs deterministically over it. The
+/// days are inherently sequential — the warm state carries forward — so this
+/// composes with intra-day chunking rather than across-day sharding: pass
+/// `intra_day_chunks > 0` to split each day's candidate axis across workers
+/// (bit-invisible, as pinned by the chunk-equivalence suites).
+///
+/// Also returns the aggregated [`DeltaUsage`] (dirty fractions, full-refresh
+/// and cache-hit counts, re-fused item totals, preparation wall time) for the
+/// `exp_table9_month --delta` leg.
+pub fn evaluate_over_time_delta(
+    collection: &Collection,
+    policy: DeltaPolicy,
+    intra_day_chunks: usize,
+) -> (Vec<MethodOverTime>, DeltaUsage) {
+    let mut rows = method_rows();
+    let methods = all_methods();
+    let mut options = FusionOptions::standard();
+    if intra_day_chunks > 0 {
+        options = options.with_intra_day_chunks(intra_day_chunks);
+    }
+
+    let mut engine = DeltaEngine::with_policy(policy);
+    let mut usage = DeltaUsage::default();
+    for day in collection.days() {
+        usage.record_advance(&engine.advance(&day.snapshot));
+        for ((_, method), row) in methods.iter().zip(rows.iter_mut()) {
+            let (result, report) = engine.run(method.as_ref(), &options);
+            usage.record_run(&report);
+            row.daily_precision
+                .push(precision_recall(&day.snapshot, &day.gold, &result).precision);
+        }
+    }
+
+    summarize(&mut rows);
+    (rows, usage)
+}
+
+fn method_rows() -> Vec<MethodOverTime> {
+    all_methods()
+        .iter()
+        .map(|(category, method)| MethodOverTime {
+            method: method.name(),
+            category: category.label().to_string(),
+            daily_precision: Vec::new(),
+            average: 0.0,
+            minimum: 0.0,
+            deviation: 0.0,
+        })
+        .collect()
+}
+
+fn summarize(rows: &mut [MethodOverTime]) {
+    for row in rows {
         row.average = datamodel::mean(&row.daily_precision);
         row.minimum = row
             .daily_precision
@@ -94,7 +148,6 @@ pub fn evaluate_over_time(collection: &Collection, use_known_copying: bool) -> V
         }
         row.deviation = datamodel::stddev(&row.daily_precision);
     }
-    rows
 }
 
 #[cfg(test)]
@@ -112,6 +165,32 @@ mod tests {
             assert!(row.minimum <= row.average + 1e-12);
             assert!(row.average >= 0.0 && row.average <= 1.0);
             assert!(row.deviation >= 0.0);
+        }
+    }
+
+    #[test]
+    fn delta_exact_rows_match_the_cold_runner_bit_for_bit() {
+        let domain = generate(&stock_config(72).scaled(0.008, 0.12));
+        let cold = evaluate_over_time(&domain.collection, false);
+        let (warm, usage) =
+            evaluate_over_time_delta(&domain.collection, fusion::DeltaPolicy::exact(), 0);
+        assert_eq!(warm.len(), cold.len());
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(w.method, c.method);
+            assert_eq!(w.daily_precision, c.daily_precision, "method {}", w.method);
+            assert_eq!(w.average.to_bits(), c.average.to_bits());
+            assert_eq!(w.minimum.to_bits(), c.minimum.to_bits());
+            assert_eq!(w.deviation.to_bits(), c.deviation.to_bits());
+        }
+        assert_eq!(usage.advances, domain.collection.num_days());
+        assert!(usage.full_refreshes >= 1, "first day is always a full prepare");
+        assert!(usage.total_items > 0);
+
+        // Chunked intra-day execution composes without changing the rows.
+        let (chunked, _) =
+            evaluate_over_time_delta(&domain.collection, fusion::DeltaPolicy::exact(), 2);
+        for (w, c) in chunked.iter().zip(&cold) {
+            assert_eq!(w.daily_precision, c.daily_precision, "method {}", w.method);
         }
     }
 }

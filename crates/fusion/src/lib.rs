@@ -24,6 +24,7 @@
 
 pub mod chunking;
 pub mod copymatrix;
+pub mod delta;
 pub mod kernels;
 pub mod methods;
 pub mod problem;
@@ -32,6 +33,7 @@ pub mod types;
 
 pub use chunking::{ChunkPlan, ChunkPlans};
 pub use copymatrix::CopyMatrix;
+pub use delta::{AdvanceReport, DeltaEngine, DeltaMode, DeltaPolicy, RunReport};
 pub use methods::FusionMethod;
 pub use problem::{Candidate, FusionProblem, PreparedItem, ProblemBuilder};
 pub use registry::{all_methods, method_by_name, MethodCategory};

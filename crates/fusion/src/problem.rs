@@ -38,7 +38,7 @@
 //! a property suite additionally pins refill == fresh across
 //! differently-shaped consecutive snapshots.
 
-use datamodel::{ItemId, Snapshot, SourceId, Value};
+use datamodel::{ItemId, Snapshot, SnapshotDelta, SourceId, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 
@@ -264,6 +264,14 @@ pub struct ProblemBuilder {
     // allocations, so the arena owns it too.
     bucketer: datamodel::Bucketer,
     buckets: Vec<datamodel::ValueBucket>,
+    // Second problem buffer for the partial-refill path: `prepare_delta`
+    // swaps the previous day's problem in here and splices its clean rows
+    // into the (re-filled) primary, so both live sets of allocations are
+    // recycled day over day.
+    spare: FusionProblem,
+    // Old dense source index -> new dense source index (`u32::MAX` for
+    // sources that left the snapshot), rebuilt per `prepare_delta`.
+    remap: Vec<u32>,
 }
 
 impl ProblemBuilder {
@@ -325,71 +333,14 @@ impl ProblemBuilder {
         }
 
         for (item_id, _) in snapshot.items() {
-            snapshot.buckets_into(*item_id, &mut self.bucketer, &mut self.buckets);
-            let buckets = &self.buckets;
-            if buckets.is_empty() {
-                continue;
-            }
-            let scale = snapshot.tolerance().similarity_scale(item_id.attr);
-            let item_index = p.item_ids.len() as u32;
-            let cand_start = p.cand_values.len();
-            let union_start = p.item_providers.len();
-
-            // Candidate values, providers, claims, and the provider union, in
-            // bucket (descending-support) order.
-            for (cand_index, bucket) in buckets.iter().enumerate() {
-                p.cand_values.push(bucket.representative.clone());
-                for source in &bucket.providers {
-                    let Some(&s) = p.source_index.get(source) else {
-                        continue;
-                    };
-                    p.providers.push(s as u32);
-                    p.item_providers.push(s as u32);
-                    self.claims_nested[s].push((item_index, cand_index as u32));
-                }
-                p.provider_offsets.push(p.providers.len() as u32);
-            }
-            // One attribute index per candidate just pushed.
-            p.cand_attrs
-                .resize(p.cand_values.len(), item_id.attr.index() as u32);
-
-            // Pairwise similarity and formatting subsumption between
-            // candidates (all of this item's values are already in
-            // `cand_values`).
-            for i in 0..buckets.len() {
-                for j in 0..buckets.len() {
-                    if i == j {
-                        continue;
-                    }
-                    let vi = &p.cand_values[cand_start + i];
-                    let vj = &p.cand_values[cand_start + j];
-                    let sim = vi.similarity(vj, scale);
-                    if sim > SIMILARITY_FLOOR {
-                        p.similar.push((j as u32, sim));
-                    }
-                    if vj.subsumes(vi) {
-                        p.coarse_supporters.push(j as u32);
-                    }
-                }
-                p.similar_offsets.push(p.similar.len() as u32);
-                p.coarse_offsets.push(p.coarse_supporters.len() as u32);
-            }
-
-            let union = &mut p.item_providers[union_start..];
-            union.sort_unstable();
-            let mut kept = union_start;
-            for k in union_start..p.item_providers.len() {
-                if k == union_start || p.item_providers[k] != p.item_providers[k - 1] {
-                    p.item_providers[kept] = p.item_providers[k];
-                    kept += 1;
-                }
-            }
-            p.item_providers.truncate(kept);
-            p.item_provider_offsets.push(p.item_providers.len() as u32);
-            p.item_cand_offsets.push(p.cand_values.len() as u32);
-
-            p.item_ids.push(*item_id);
-            p.item_attrs.push(item_id.attr.index() as u32);
+            prepare_item_into(
+                p,
+                &mut self.claims_nested,
+                &mut self.bucketer,
+                &mut self.buckets,
+                snapshot,
+                *item_id,
+            );
         }
 
         // Flatten the per-source claim lists (each already in item order).
@@ -401,6 +352,260 @@ impl ProblemBuilder {
 
         &self.problem
     }
+
+    /// Prepare `snapshot` by re-bucketing only the items `delta` marks dirty
+    /// and splicing every clean item's CSR rows forward from the previous
+    /// preparation — the partial-refill entry point of the delta engine.
+    ///
+    /// # Contract
+    ///
+    /// The builder's current [`problem`](Self::problem) must be the
+    /// preparation of the `prev` snapshot that `delta` was diffed against
+    /// (i.e. the last `prepare`/`prepare_delta` call was for `prev`). Under
+    /// that contract the result is **identical** (`==`, every array and
+    /// offset table) to a cold [`prepare`](Self::prepare) of `snapshot`:
+    /// a clean item buckets to the same candidates, similarity links, and
+    /// provider rows by [`SnapshotDelta`]'s definition of clean (unchanged
+    /// observation row, unchanged attribute tolerance/scale), so copying its
+    /// rows is the same computation with the re-bucketing skipped. The
+    /// equality is pinned across mutation sequences by
+    /// `tests/delta_equivalence.rs`.
+    ///
+    /// Items absent from the previous preparation (or dirty) are recomputed
+    /// from the snapshot, so the call degrades gracefully — with an
+    /// all-dirty delta it *is* a full `prepare`, just with an extra buffer
+    /// swap.
+    pub fn prepare_delta(&mut self, snapshot: &Snapshot, delta: &SnapshotDelta) -> &FusionProblem {
+        std::mem::swap(&mut self.problem, &mut self.spare);
+        let prev = &self.spare;
+        let p = &mut self.problem;
+
+        p.sources.clear();
+        p.sources.extend(snapshot.active_sources());
+        p.source_index.clear();
+        p.source_index
+            .extend(p.sources.iter().enumerate().map(|(i, s)| (*s, i)));
+        p.num_attrs = snapshot.schema().num_attributes();
+
+        // Old dense source index -> new dense source index. Both source
+        // lists are sorted by `SourceId`, so the remap is monotonic over the
+        // surviving sources — which is what keeps spliced (sorted) provider
+        // unions sorted without re-sorting.
+        self.remap.clear();
+        self.remap.resize(prev.sources.len(), u32::MAX);
+        for (old, source) in prev.sources.iter().enumerate() {
+            if let Some(&new) = p.source_index.get(source) {
+                self.remap[old] = new as u32;
+            }
+        }
+
+        p.item_ids.clear();
+        p.item_attrs.clear();
+        p.item_cand_offsets.clear();
+        p.item_cand_offsets.push(0);
+        p.cand_values.clear();
+        p.cand_attrs.clear();
+        p.provider_offsets.clear();
+        p.provider_offsets.push(0);
+        p.providers.clear();
+        p.similar_offsets.clear();
+        p.similar_offsets.push(0);
+        p.similar.clear();
+        p.coarse_offsets.clear();
+        p.coarse_offsets.push(0);
+        p.coarse_supporters.clear();
+        p.item_provider_offsets.clear();
+        p.item_provider_offsets.push(0);
+        p.item_providers.clear();
+        p.claims.clear();
+        p.claim_offsets.clear();
+
+        let num_sources = p.sources.len();
+        for list in self.claims_nested.iter_mut() {
+            list.clear();
+        }
+        if self.claims_nested.len() < num_sources {
+            self.claims_nested.resize_with(num_sources, Vec::new);
+        }
+
+        // Merge-walk the snapshot's (sorted) items against the previous
+        // preparation's (sorted) item table.
+        let mut prev_pos = 0usize;
+        for (item_id, _) in snapshot.items() {
+            while prev_pos < prev.item_ids.len() && prev.item_ids[prev_pos] < *item_id {
+                prev_pos += 1; // items that left the snapshot: dropped
+            }
+            let matched = prev_pos < prev.item_ids.len() && prev.item_ids[prev_pos] == *item_id;
+            if matched && !delta.is_dirty_item(*item_id) {
+                splice_item_from(p, &mut self.claims_nested, prev, &self.remap, prev_pos);
+            } else {
+                prepare_item_into(
+                    p,
+                    &mut self.claims_nested,
+                    &mut self.bucketer,
+                    &mut self.buckets,
+                    snapshot,
+                    *item_id,
+                );
+            }
+            if matched {
+                prev_pos += 1;
+            }
+        }
+
+        p.claim_offsets.push(0);
+        for list in self.claims_nested.iter().take(num_sources) {
+            p.claims.extend_from_slice(list);
+            p.claim_offsets.push(p.claims.len() as u32);
+        }
+
+        &self.problem
+    }
+}
+
+/// Bucket one snapshot item and append its candidate values, provider rows,
+/// similarity/formatting links, provider union, and claims to the problem
+/// under construction — the shared per-item body of [`ProblemBuilder`]'s
+/// full and partial refill paths.
+fn prepare_item_into(
+    p: &mut FusionProblem,
+    claims_nested: &mut [Vec<(u32, u32)>],
+    bucketer: &mut datamodel::Bucketer,
+    buckets: &mut Vec<datamodel::ValueBucket>,
+    snapshot: &Snapshot,
+    item_id: ItemId,
+) {
+    snapshot.buckets_into(item_id, bucketer, buckets);
+    if buckets.is_empty() {
+        return;
+    }
+    let scale = snapshot.tolerance().similarity_scale(item_id.attr);
+    let item_index = p.item_ids.len() as u32;
+    let cand_start = p.cand_values.len();
+    let union_start = p.item_providers.len();
+
+    // Candidate values, providers, claims, and the provider union, in
+    // bucket (descending-support) order.
+    for (cand_index, bucket) in buckets.iter().enumerate() {
+        p.cand_values.push(bucket.representative.clone());
+        for source in &bucket.providers {
+            let Some(&s) = p.source_index.get(source) else {
+                continue;
+            };
+            p.providers.push(s as u32);
+            p.item_providers.push(s as u32);
+            claims_nested[s].push((item_index, cand_index as u32));
+        }
+        p.provider_offsets.push(p.providers.len() as u32);
+    }
+    // One attribute index per candidate just pushed.
+    p.cand_attrs
+        .resize(p.cand_values.len(), item_id.attr.index() as u32);
+
+    // Pairwise similarity and formatting subsumption between candidates
+    // (all of this item's values are already in `cand_values`).
+    for i in 0..buckets.len() {
+        for j in 0..buckets.len() {
+            if i == j {
+                continue;
+            }
+            let vi = &p.cand_values[cand_start + i];
+            let vj = &p.cand_values[cand_start + j];
+            let sim = vi.similarity(vj, scale);
+            if sim > SIMILARITY_FLOOR {
+                p.similar.push((j as u32, sim));
+            }
+            if vj.subsumes(vi) {
+                p.coarse_supporters.push(j as u32);
+            }
+        }
+        p.similar_offsets.push(p.similar.len() as u32);
+        p.coarse_offsets.push(p.coarse_supporters.len() as u32);
+    }
+
+    let union = &mut p.item_providers[union_start..];
+    union.sort_unstable();
+    let mut kept = union_start;
+    for k in union_start..p.item_providers.len() {
+        if k == union_start || p.item_providers[k] != p.item_providers[k - 1] {
+            p.item_providers[kept] = p.item_providers[k];
+            kept += 1;
+        }
+    }
+    p.item_providers.truncate(kept);
+    p.item_provider_offsets.push(p.item_providers.len() as u32);
+    p.item_cand_offsets.push(p.cand_values.len() as u32);
+
+    p.item_ids.push(item_id);
+    p.item_attrs.push(item_id.attr.index() as u32);
+}
+
+/// Append one clean item to the problem under construction by copying its
+/// CSR rows from the previous day's preparation, translating dense source
+/// indices through `remap`. Skips re-bucketing and the O(k²) similarity
+/// pass entirely — the data-movement saving the delta engine is built on.
+///
+/// A clean item never references a removed source (removing a source dirties
+/// every item it claimed), so every provider remap hit is guaranteed under
+/// the [`ProblemBuilder::prepare_delta`] contract.
+fn splice_item_from(
+    p: &mut FusionProblem,
+    claims_nested: &mut [Vec<(u32, u32)>],
+    prev: &FusionProblem,
+    remap: &[u32],
+    old_index: usize,
+) {
+    let item_index = p.item_ids.len() as u32;
+    let cand_lo = prev.item_cand_offsets[old_index] as usize;
+    let cand_hi = prev.item_cand_offsets[old_index + 1] as usize;
+
+    for g in cand_lo..cand_hi {
+        let local = (g - cand_lo) as u32;
+        p.cand_values.push(prev.cand_values[g].clone());
+        let plo = prev.provider_offsets[g] as usize;
+        let phi = prev.provider_offsets[g + 1] as usize;
+        for &old_s in &prev.providers[plo..phi] {
+            let s = remap[old_s as usize];
+            debug_assert_ne!(s, u32::MAX, "clean item references a removed source");
+            p.providers.push(s);
+            claims_nested[s as usize].push((item_index, local));
+        }
+        p.provider_offsets.push(p.providers.len() as u32);
+    }
+    p.cand_attrs
+        .extend_from_slice(&prev.cand_attrs[cand_lo..cand_hi]);
+
+    // Similarity and coarse links hold *local* candidate indices, so they
+    // copy verbatim; only the offset tables are re-based.
+    let sim_lo = prev.similar_offsets[cand_lo];
+    let sim_base = p.similar.len() as u32;
+    p.similar
+        .extend_from_slice(&prev.similar[sim_lo as usize..prev.similar_offsets[cand_hi] as usize]);
+    let coarse_lo = prev.coarse_offsets[cand_lo];
+    let coarse_base = p.coarse_supporters.len() as u32;
+    p.coarse_supporters.extend_from_slice(
+        &prev.coarse_supporters[coarse_lo as usize..prev.coarse_offsets[cand_hi] as usize],
+    );
+    for g in cand_lo..cand_hi {
+        p.similar_offsets
+            .push(sim_base + prev.similar_offsets[g + 1] - sim_lo);
+        p.coarse_offsets
+            .push(coarse_base + prev.coarse_offsets[g + 1] - coarse_lo);
+    }
+
+    // The previous union is sorted by old dense index; the remap is
+    // monotonic, so the translated union stays sorted and deduplicated.
+    let up_lo = prev.item_provider_offsets[old_index] as usize;
+    let up_hi = prev.item_provider_offsets[old_index + 1] as usize;
+    p.item_providers.extend(
+        prev.item_providers[up_lo..up_hi]
+            .iter()
+            .map(|&old_s| remap[old_s as usize]),
+    );
+    p.item_provider_offsets.push(p.item_providers.len() as u32);
+    p.item_cand_offsets.push(p.cand_values.len() as u32);
+    p.item_ids.push(prev.item_ids[old_index]);
+    p.item_attrs.push(prev.item_attrs[old_index]);
 }
 
 impl Default for FusionProblem {
@@ -682,6 +887,59 @@ mod tests {
         assert_eq!(*builder.prepare(&snap_a), FusionProblem::from_snapshot(&snap_a));
         assert_eq!(builder.problem().num_items(), 2);
         assert_eq!(builder.into_problem(), FusionProblem::from_snapshot(&snap_a));
+    }
+
+    #[test]
+    fn prepare_delta_matches_full_prepare() {
+        use datamodel::SnapshotDelta;
+
+        let day0 = snapshot();
+        // Day 1: edit one price claim, retract the rounded volume claim
+        // (source 3 leaves entirely), add a new item from a new source —
+        // all with the day-0 tolerance context pinned so only the touched
+        // items go dirty.
+        let mut schema = DomainSchema::new("test");
+        schema.add_attribute("price", AttrKind::Numeric { scale: 100.0 }, false);
+        schema.add_attribute("volume", AttrKind::Numeric { scale: 1e6 }, false);
+        for i in 0..6 {
+            schema.add_source(format!("s{i}"), false);
+        }
+        let mut b = SnapshotBuilder::new(1);
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(101.0));
+        b.add(SourceId(2), ObjectId(0), AttrId(0), Value::number(105.0));
+        b.add(SourceId(0), ObjectId(0), AttrId(1), Value::number(7_528_396.0));
+        b.add(SourceId(5), ObjectId(1), AttrId(0), Value::number(55.0));
+        let day1 =
+            b.build_with_tolerance(Arc::new(schema), day0.tolerance().clone());
+
+        let delta = SnapshotDelta::between(&day0, &day1);
+        assert!(delta.is_dirty_item(ItemId::new(ObjectId(0), AttrId(0))));
+        assert!(delta.is_dirty_item(ItemId::new(ObjectId(0), AttrId(1))));
+        assert!(delta.is_dirty_item(ItemId::new(ObjectId(1), AttrId(0))));
+
+        let mut builder = ProblemBuilder::new();
+        builder.prepare(&day0);
+        assert_eq!(
+            *builder.prepare_delta(&day1, &delta),
+            FusionProblem::from_snapshot(&day1)
+        );
+
+        // A no-op day over the now-current day1 splices every row.
+        let noop = SnapshotDelta::between(&day1, &day1);
+        assert!(noop.is_empty());
+        assert_eq!(
+            *builder.prepare_delta(&day1, &noop),
+            FusionProblem::from_snapshot(&day1)
+        );
+
+        // And going back to day0's shape (item/source removal + edits) still
+        // matches a cold preparation.
+        let back = SnapshotDelta::between(&day1, &day0);
+        assert_eq!(
+            *builder.prepare_delta(&day0, &back),
+            FusionProblem::from_snapshot(&day0)
+        );
     }
 
     #[test]
