@@ -17,7 +17,7 @@ use datagen::generate;
 use datamodel::TolerancePolicy;
 use evaluation::{precision_recall, EvaluationContext};
 use fusion::methods::{Accu, AccuCopy};
-use fusion::{FusionMethod, FusionOptions, FusionProblem};
+use fusion::{FusionMethod, FusionOptions, FusionProblem, FusionScratch};
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -86,6 +86,10 @@ fn accu_parameter_ablation(args: &ExpArgs) {
         "Ablation 2: ACCUSIM parameters (stock)",
         &["n false values", "similarity weight", "precision"],
     );
+    // Reuse one scratch arena across the 9 configurations instead of
+    // reallocating per run; results must not depend on the entry point.
+    let mut scratch = FusionScratch::new();
+    let mut checked = false;
     for n in [2.0, 10.0, 100.0] {
         for rho in [0.0, 0.5, 1.0] {
             let method = Accu {
@@ -93,7 +97,16 @@ fn accu_parameter_ablation(args: &ExpArgs) {
                 rho,
                 ..Accu::accusim()
             };
-            let result = method.run(&context.problem, &FusionOptions::standard());
+            let result =
+                method.run_with_scratch(&context.problem, &FusionOptions::standard(), &mut scratch);
+            if !checked {
+                checked = true;
+                debug_assert_eq!(
+                    result.selection,
+                    method.run(&context.problem, &FusionOptions::standard()).selection,
+                    "scratch-backed AccuSim must match the plain run"
+                );
+            }
             let pr = precision_recall(&day.snapshot, &day.gold, &result);
             table.row(&[
                 format!("{n}"),
@@ -115,7 +128,11 @@ fn copy_knowledge_ablation(args: &ExpArgs) {
         &["copy knowledge", "precision", "time (s)"],
     );
 
-    let detected = AccuCopy::default().run(&problem, &FusionOptions::standard());
+    // All three variants share one scratch arena; the selections must be
+    // identical to the plain `run` path (asserted on the cheapest variant).
+    let mut scratch = FusionScratch::new();
+    let detected =
+        AccuCopy::default().run_with_scratch(&problem, &FusionOptions::standard(), &mut scratch);
     let pr = precision_recall(&day.snapshot, &day.gold, &detected);
     table.row(&[
         "re-detected every round".to_string(),
@@ -125,9 +142,10 @@ fn copy_knowledge_ablation(args: &ExpArgs) {
 
     let oracle = known_copying(day.snapshot.schema());
     let dense = evaluation::copy_report_to_dense(&oracle, &problem);
-    let with_known = AccuCopy::default().run(
+    let with_known = AccuCopy::default().run_with_scratch(
         &problem,
         &FusionOptions::standard().with_known_copying(dense),
+        &mut scratch,
     );
     let pr_known = precision_recall(&day.snapshot, &day.gold, &with_known);
     table.row(&[
@@ -136,7 +154,13 @@ fn copy_knowledge_ablation(args: &ExpArgs) {
         format!("{:.2}", with_known.elapsed.as_secs_f64()),
     ]);
 
-    let oblivious = Accu::accuformat().run(&problem, &FusionOptions::standard());
+    let oblivious =
+        Accu::accuformat().run_with_scratch(&problem, &FusionOptions::standard(), &mut scratch);
+    debug_assert_eq!(
+        oblivious.selection,
+        Accu::accuformat().run(&problem, &FusionOptions::standard()).selection,
+        "scratch-backed AccuFormat must match the plain run"
+    );
     let pr_obl = precision_recall(&day.snapshot, &day.gold, &oblivious);
     table.row(&[
         "ignored (AccuFormat)".to_string(),

@@ -4,16 +4,27 @@
 use bench::{ExpArgs, Table};
 use datagen::GeneratedDomain;
 use evaluation::{precision_by_dominance, EvaluationContext};
-use fusion::{method_by_name, FusionOptions};
+use fusion::{method_by_name, FusionOptions, FusionScratch};
 
 fn report(domain: &GeneratedDomain, advanced: &str) {
     let day = domain.collection.reference_day();
     let context = EvaluationContext::new(&day.snapshot, &day.gold);
     let options = FusionOptions::standard();
-    let vote = method_by_name("Vote").unwrap().run(&context.problem, &options);
-    let adv = method_by_name(advanced)
-        .unwrap()
-        .run(&context.problem, &options);
+    // One scratch arena amortised across both methods; the allocation-free
+    // path must stay output-identical to the plain entry point.
+    let mut scratch = FusionScratch::new();
+    let vote_method = method_by_name("Vote").unwrap();
+    let vote = vote_method.run_with_scratch(&context.problem, &options, &mut scratch);
+    debug_assert_eq!(
+        vote.selection,
+        vote_method.run(&context.problem, &options).selection,
+        "scratch-backed Vote must match the plain run"
+    );
+    let adv = method_by_name(advanced).unwrap().run_with_scratch(
+        &context.problem,
+        &options,
+        &mut scratch,
+    );
     let vote_points = precision_by_dominance(&context, &vote);
     let adv_points = precision_by_dominance(&context, &adv);
 

@@ -545,6 +545,35 @@ fn main() {
         eprintln!("FAIL: --fail-on-regression requires --compare FILE");
         std::process::exit(1);
     }
+
+    // Load the baseline up front — before any expensive work, and before the
+    // fresh artifact write below (the checked-in baseline and the default
+    // output path are typically the same file; reading after the write would
+    // silently diff the fresh run against itself). Under the gate, a
+    // baseline that is unreadable, malformed, or shaped so that no
+    // (domain, method) row can ever match is an **unusable baseline**: fail
+    // closed with a diagnostic now instead of wasting the run.
+    let baseline = args.compare.as_ref().map(|path| {
+        (
+            path.clone(),
+            std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| Json::parse(&text)),
+        )
+    });
+    if args.fail_on_regression.is_some() {
+        if let Some((path, result)) = &baseline {
+            let usable = match result {
+                Ok(doc) => bench::baseline_usability(doc),
+                Err(e) => Err(e.clone()),
+            };
+            if let Err(e) = usable {
+                eprintln!("FAIL: unusable baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let (stock, flight) = args.both_domains("Figure 12");
     let stock_json = report(&stock, args.batch, args.repeats);
     let flight_json = report(&flight, args.batch, args.repeats);
@@ -594,19 +623,6 @@ fn main() {
         .field("delta", delta)
         .field("domains", Json::Array(vec![stock_json, flight_json]));
 
-    // Load the baseline BEFORE writing the fresh artifact: the checked-in
-    // baseline (`--compare BENCH_fig12.json`) and the default output path are
-    // typically the same file, and reading after the write would silently
-    // diff the fresh run against itself.
-    let baseline = args.compare.as_ref().map(|path| {
-        (
-            path.clone(),
-            std::fs::read_to_string(path)
-                .map_err(|e| e.to_string())
-                .and_then(|text| Json::parse(&text)),
-        )
-    });
-
     match std::fs::write(&out_path, doc.render()) {
         Ok(()) => println!("\nWrote {out_path}"),
         Err(e) => eprintln!("\nCould not write {out_path}: {e}"),
@@ -626,6 +642,16 @@ fn main() {
                         eprintln!(
                             "FAIL: --fail-on-regression cannot be evaluated: baseline \
                              {baseline_path} uses different --seed/--scale/--days"
+                        );
+                        std::process::exit(1);
+                    }
+                    // A usable-shaped baseline can still share zero rows
+                    // with this run (e.g. a different registry era). An
+                    // empty diff must not read as "gate passed".
+                    if bench::fig12_deltas(&baseline, &doc).is_empty() {
+                        eprintln!(
+                            "FAIL: unusable baseline {baseline_path}: no overlapping \
+                             (domain, method) rows with the fresh run"
                         );
                         std::process::exit(1);
                     }

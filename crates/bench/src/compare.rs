@@ -108,6 +108,41 @@ pub fn fig12_deltas(baseline: &Json, fresh: &Json) -> Vec<Fig12Delta> {
     deltas
 }
 
+/// Whether `baseline` has the shape a Figure-12 comparison needs: an object
+/// with a `domains` array containing at least one domain that has a string
+/// `domain` name and at least one complete method row (`method`,
+/// `elapsed_s`, `precision`).
+///
+/// `exp_fig12_efficiency --fail-on-regression` runs this **before** the
+/// expensive experiment: a baseline that parses but can never produce an
+/// overlapping row (truncated by hand, wrong file, schema drift) must fail
+/// the gate with a diagnostic instead of letting an empty diff pass it
+/// silently.
+pub fn baseline_usability(baseline: &Json) -> Result<(), String> {
+    let Some(domains) = baseline.get("domains") else {
+        return Err("no \"domains\" field (is this a fig12 artifact?)".to_string());
+    };
+    let Some(domains) = domains.as_array() else {
+        return Err("\"domains\" is not an array".to_string());
+    };
+    if domains.is_empty() {
+        return Err("\"domains\" is empty".to_string());
+    }
+    let usable_rows: usize = domains
+        .iter()
+        .filter(|d| d.get("domain").and_then(Json::as_str).is_some())
+        .map(|d| methods_of(d).len())
+        .sum();
+    if usable_rows == 0 {
+        return Err(
+            "no complete (domain, method) row: every method row needs \
+             \"method\", \"elapsed_s\", and \"precision\""
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
 /// True when the two artifacts were produced with the same scale parameters
 /// (seed, scale, days) — the precondition for timings to be comparable.
 pub fn same_scale(baseline: &Json, fresh: &Json) -> bool {
@@ -278,6 +313,36 @@ mod tests {
         let empty = Json::object().field("domains", Json::Array(vec![]));
         assert!(fig12_deltas(&baseline, &empty).is_empty());
         assert!(fig12_deltas(&empty, &baseline).is_empty());
+    }
+
+    #[test]
+    fn usability_accepts_real_artifacts_and_names_whats_wrong() {
+        assert!(baseline_usability(&artifact(0.25, 0.010, 0.9)).is_ok());
+
+        // Parsed-but-wrong shapes all fail with a pointed diagnostic.
+        let err = baseline_usability(&Json::object()).unwrap_err();
+        assert!(err.contains("domains"), "{err}");
+        let err = baseline_usability(&Json::Null).unwrap_err();
+        assert!(err.contains("domains"), "{err}");
+        let err =
+            baseline_usability(&Json::object().field("domains", Json::int(3))).unwrap_err();
+        assert!(err.contains("not an array"), "{err}");
+        let err = baseline_usability(&Json::object().field("domains", Json::Array(vec![])))
+            .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+
+        // A domain whose method rows are incomplete has no usable rows.
+        let incomplete = Json::object().field(
+            "domains",
+            Json::Array(vec![Json::object()
+                .field("domain", Json::string("stock"))
+                .field(
+                    "methods",
+                    Json::Array(vec![Json::object().field("method", Json::string("Vote"))]),
+                )]),
+        );
+        let err = baseline_usability(&incomplete).unwrap_err();
+        assert!(err.contains("elapsed_s"), "{err}");
     }
 
     #[test]

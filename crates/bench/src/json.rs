@@ -64,6 +64,26 @@ impl Json {
         }
     }
 
+    /// Element `i`, if this is an array with at least `i + 1` elements.
+    ///
+    /// Like [`get`](Self::get) for objects, this is the fallible access the
+    /// comparison helpers use on parsed (possibly hand-edited) artifacts —
+    /// out-of-range or wrong-typed access yields `None`, never a panic.
+    pub fn index(&self, i: usize) -> Option<&Json> {
+        match self {
+            Json::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Parse a JSON document (the subset this module emits: objects, arrays,
     /// strings with the escapes [`render`](Self::render) produces, finite
     /// numbers, booleans, `null`). Used by the benchmark comparison helpers
@@ -92,11 +112,15 @@ impl Json {
         Json::Object(Vec::new())
     }
 
-    /// Append a field to an object (panics on non-objects — builder misuse).
+    /// Append a field to an object. On a non-object the call is a no-op and
+    /// returns `self` unchanged: builder chains always start from
+    /// [`Json::object`], and parsed documents are navigated with the
+    /// fallible [`get`](Self::get)/[`index`](Self::index) accessors — a
+    /// malformed artifact must surface as a clean diagnostic, not a panic
+    /// deep inside a builder chain.
     pub fn field(mut self, key: &str, value: Json) -> Self {
-        match &mut self {
-            Json::Object(fields) => fields.push((key.to_string(), value)),
-            _ => panic!("Json::field on a non-object"),
+        if let Json::Object(fields) = &mut self {
+            fields.push((key.to_string(), value));
         }
         self
     }
@@ -431,8 +455,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-object")]
-    fn field_on_array_panics() {
-        let _ = Json::Array(vec![]).field("x", Json::Null);
+    fn field_on_non_object_is_a_noop() {
+        assert_eq!(Json::Array(vec![]).field("x", Json::Null), Json::Array(vec![]));
+        assert_eq!(Json::Null.field("x", Json::int(1)), Json::Null);
+        assert_eq!(
+            Json::string("s").field("x", Json::int(1)),
+            Json::string("s")
+        );
+    }
+
+    #[test]
+    fn index_is_fallible_on_every_shape() {
+        let doc = Json::parse("{\"a\": [1, 2.5]}").unwrap();
+        let a = doc.get("a").unwrap();
+        assert_eq!(a.index(1).and_then(Json::as_f64), Some(2.5));
+        assert!(a.index(2).is_none());
+        assert!(doc.index(0).is_none(), "index on an object is None");
+        assert!(Json::Null.index(0).is_none());
+        assert_eq!(doc.as_object().map(<[_]>::len), Some(1));
+        assert!(a.as_object().is_none());
     }
 }

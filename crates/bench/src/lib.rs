@@ -10,7 +10,8 @@ pub mod report;
 pub mod setup;
 
 pub use compare::{
-    fig12_deltas, fig12_regressions, print_fig12_comparison, same_scale, Fig12Delta,
+    baseline_usability, fig12_deltas, fig12_regressions, print_fig12_comparison, same_scale,
+    Fig12Delta,
 };
 pub use json::Json;
 pub use report::{format_percent, Table};

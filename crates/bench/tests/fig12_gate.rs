@@ -1,0 +1,73 @@
+//! CLI regression tests for the `exp_fig12_efficiency` perf gate.
+//!
+//! The gate must fail **closed and fast**: a baseline that cannot possibly
+//! be diffed against the fresh run (malformed JSON, wrong artifact shape)
+//! exits 1 with an `unusable baseline` diagnostic before any expensive
+//! fusion work runs — proven here by asserting the output artifact is
+//! never written.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gate_run(baseline_contents: &str, tag: &str) -> (std::process::Output, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let baseline = dir.join(format!("fig12_gate_{tag}_{}.json", std::process::id()));
+    let out = dir.join(format!("fig12_gate_{tag}_out_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&out);
+    std::fs::write(&baseline, baseline_contents).expect("write baseline fixture");
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_fig12_efficiency"))
+        .args([
+            "--compare",
+            baseline.to_str().unwrap(),
+            "--fail-on-regression",
+            "25",
+        ])
+        .env("BENCH_FIG12_OUT", &out)
+        .output()
+        .expect("spawn exp_fig12_efficiency");
+    (output, baseline, out)
+}
+
+#[test]
+fn malformed_json_baseline_fails_closed_before_running() {
+    let (output, baseline, out) = gate_run("{ not json", "malformed");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "malformed baseline must exit 1 (stderr: {stderr})"
+    );
+    assert!(
+        stderr.contains("unusable baseline"),
+        "diagnostic must name the unusable baseline, got: {stderr}"
+    );
+    assert!(
+        !out.exists(),
+        "gate must fail before the expensive run writes {}",
+        out.display()
+    );
+    let _ = std::fs::remove_file(&baseline);
+}
+
+#[test]
+fn wrong_shape_baseline_fails_closed_before_running() {
+    // Parses fine, but has no "domains" array — a fig10/ablation artifact
+    // (or a stray `{}`) can never yield an overlapping (domain, method) row.
+    let (output, baseline, out) = gate_run("{}", "shape");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "wrong-shape baseline must exit 1 (stderr: {stderr})"
+    );
+    assert!(
+        stderr.contains("unusable baseline"),
+        "diagnostic must name the unusable baseline, got: {stderr}"
+    );
+    assert!(
+        !out.exists(),
+        "gate must fail before the expensive run writes {}",
+        out.display()
+    );
+    let _ = std::fs::remove_file(&baseline);
+}

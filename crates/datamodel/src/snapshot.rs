@@ -63,9 +63,101 @@ impl SnapshotBuilder {
         }
     }
 
+    /// Remove `source`'s claim for `(object, attr)` if present; returns
+    /// whether anything was removed. An item whose last observation is
+    /// removed disappears from the builder entirely (a snapshot never
+    /// carries observation-less items).
+    pub fn remove(&mut self, source: SourceId, object: ObjectId, attr: AttrId) -> bool {
+        let item = ItemId::new(object, attr);
+        let Some(obs) = self.items.get_mut(&item) else {
+            return false;
+        };
+        let before = obs.len();
+        obs.retain(|o| o.source != source);
+        let removed = obs.len() < before;
+        if obs.is_empty() {
+            self.items.remove(&item);
+        }
+        removed
+    }
+
+    /// The day this builder targets.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Retarget the builder to another day.
+    ///
+    /// The online fusion service keeps one builder alive as a persistent
+    /// claim ledger and re-stamps it before every seal, instead of replaying
+    /// all claims into a fresh builder per day.
+    pub fn set_day(&mut self, day: u32) {
+        self.day = day;
+    }
+
+    /// The value `source` currently provides for `(object, attr)`, if any.
+    pub fn value_of(&self, source: SourceId, object: ObjectId, attr: AttrId) -> Option<&Value> {
+        self.items
+            .get(&ItemId::new(object, attr))?
+            .iter()
+            .find(|o| o.source == source)
+            .map(|o| &o.value)
+    }
+
     /// Number of observations recorded so far.
     pub fn num_observations(&self) -> usize {
         self.items.values().map(Vec::len).sum()
+    }
+
+    /// Non-consuming build: materialize a snapshot from the current claims,
+    /// skipping every observation whose source is in `exclude` (and any item
+    /// that leaves empty). Per-item observations are emitted in ascending
+    /// `SourceId` order — a canonical order independent of claim arrival
+    /// order, so two ledgers holding the same claims always materialize
+    /// byte-identical snapshots (the generator emits sources in index order,
+    /// so generated snapshots already follow it). With `tolerance: Some`,
+    /// the given context is pinned verbatim (see
+    /// [`Self::build_with_tolerance`]); with `None` it is recomputed from
+    /// the included values.
+    pub fn materialize(
+        &self,
+        schema: Arc<DomainSchema>,
+        tolerance: Option<&ToleranceContext>,
+        exclude: &BTreeSet<SourceId>,
+    ) -> Snapshot {
+        let mut items: BTreeMap<ItemId, Vec<Observation>> = BTreeMap::new();
+        for (item, obs) in &self.items {
+            let mut kept: Vec<Observation> = obs
+                .iter()
+                .filter(|o| !exclude.contains(&o.source))
+                .cloned()
+                .collect();
+            if kept.is_empty() {
+                continue;
+            }
+            kept.sort_by_key(|o| o.source);
+            items.insert(*item, kept);
+        }
+        let tolerance = match tolerance {
+            Some(t) => t.clone(),
+            None => {
+                let mut values_per_attr: Vec<Vec<Value>> =
+                    vec![Vec::new(); schema.num_attributes()];
+                for (item, obs) in &items {
+                    let slot = &mut values_per_attr[item.attr.index()];
+                    for o in obs {
+                        slot.push(o.value.clone());
+                    }
+                }
+                ToleranceContext::from_values(&schema, &values_per_attr, self.policy)
+            }
+        };
+        Snapshot {
+            schema,
+            day: self.day,
+            items,
+            tolerance,
+        }
     }
 
     /// Finalize the snapshot: computes the per-attribute tolerance context
@@ -443,6 +535,80 @@ mod tests {
             snap.tolerance().tolerance(AttrId(0)).to_bits()
         );
         assert_eq!(pinned.day(), 1);
+    }
+
+    #[test]
+    fn remove_drops_claims_and_empty_items() {
+        let mut b = SnapshotBuilder::new(0);
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(1.0));
+        b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(2.0));
+        b.add(SourceId(0), ObjectId(1), AttrId(0), Value::number(3.0));
+
+        assert!(b.remove(SourceId(1), ObjectId(0), AttrId(0)));
+        // Removing again (or removing a claim that never existed) is a no-op.
+        assert!(!b.remove(SourceId(1), ObjectId(0), AttrId(0)));
+        assert!(!b.remove(SourceId(2), ObjectId(9), AttrId(0)));
+        assert_eq!(b.value_of(SourceId(1), ObjectId(0), AttrId(0)), None);
+        assert_eq!(
+            b.value_of(SourceId(0), ObjectId(0), AttrId(0)),
+            Some(&Value::number(1.0))
+        );
+
+        // The last claim of an item takes the item with it.
+        assert!(b.remove(SourceId(0), ObjectId(1), AttrId(0)));
+        let snap = b.build(schema());
+        assert_eq!(snap.num_items(), 1);
+        assert_eq!(snap.num_observations(), 1);
+    }
+
+    #[test]
+    fn materialize_is_canonical_and_non_consuming() {
+        // Claims arrive in scrambled source order; materialize must emit
+        // them source-sorted, identical to a builder fed in sorted order.
+        let mut scrambled = SnapshotBuilder::new(2);
+        scrambled.add(SourceId(2), ObjectId(0), AttrId(0), Value::number(105.0));
+        scrambled.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(100.0));
+        scrambled.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(100.2));
+
+        let mut sorted = SnapshotBuilder::new(2);
+        sorted.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(100.0));
+        sorted.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(100.2));
+        sorted.add(SourceId(2), ObjectId(0), AttrId(0), Value::number(105.0));
+
+        let a = scrambled.materialize(schema(), None, &BTreeSet::new());
+        let b = sorted.build(schema());
+        let item = ItemId::new(ObjectId(0), AttrId(0));
+        assert_eq!(a.observations(item), b.observations(item));
+        assert_eq!(
+            a.tolerance().tolerance(AttrId(0)).to_bits(),
+            b.tolerance().tolerance(AttrId(0)).to_bits()
+        );
+        // Non-consuming: the builder still holds every claim.
+        assert_eq!(scrambled.num_observations(), 3);
+    }
+
+    #[test]
+    fn materialize_excludes_sources_and_pins_tolerance() {
+        let mut b = SnapshotBuilder::new(0);
+        b.add(SourceId(0), ObjectId(0), AttrId(0), Value::number(100.0));
+        b.add(SourceId(1), ObjectId(0), AttrId(0), Value::number(100.2));
+        b.add(SourceId(1), ObjectId(1), AttrId(0), Value::number(50.0));
+        let full = b.materialize(schema(), None, &BTreeSet::new());
+
+        // Excluding source 1 drops its claims and the item it alone covered.
+        let without = b.materialize(schema(), None, &BTreeSet::from([SourceId(1)]));
+        assert_eq!(without.num_observations(), 1);
+        assert_eq!(without.num_items(), 1);
+
+        // Pinned tolerance is carried verbatim even though the median moved.
+        b.set_day(1);
+        assert_eq!(b.day(), 1);
+        let pinned = b.materialize(schema(), Some(full.tolerance()), &BTreeSet::from([SourceId(0)]));
+        assert_eq!(pinned.day(), 1);
+        assert_eq!(
+            pinned.tolerance().tolerance(AttrId(0)).to_bits(),
+            full.tolerance().tolerance(AttrId(0)).to_bits()
+        );
     }
 
     #[test]

@@ -59,6 +59,21 @@ impl DeltaUsage {
         self.total_items += report.total_items;
     }
 
+    /// Fold another summary into this one (component-wise sums). The online
+    /// service aggregates per-seal usage into its cumulative `ServiceStats`
+    /// with this.
+    pub fn merge(&mut self, other: &DeltaUsage) {
+        self.advances += other.advances;
+        self.full_refreshes += other.full_refreshes;
+        self.identical_days += other.identical_days;
+        self.cache_hits += other.cache_hits;
+        self.fused_items += other.fused_items;
+        self.total_items += other.total_items;
+        self.dirty_fraction_sum += other.dirty_fraction_sum;
+        self.dirty_steps += other.dirty_steps;
+        self.prepare += other.prepare;
+    }
+
     /// Mean dirty fraction over the non-first advances (0 when none).
     pub fn mean_dirty_fraction(&self) -> f64 {
         if self.dirty_steps == 0 {
@@ -136,5 +151,17 @@ mod tests {
         assert!((usage.mean_dirty_fraction() - 0.1).abs() < 1e-12);
         assert!((usage.fused_fraction() - 0.1).abs() < 1e-12);
         assert_eq!(usage.prepare, Duration::from_millis(3));
+
+        // Merging a summary into an empty one reproduces it; merging it into
+        // itself doubles every counter.
+        let mut merged = DeltaUsage::default();
+        merged.merge(&usage);
+        assert_eq!(merged.advances, usage.advances);
+        assert_eq!(merged.prepare, usage.prepare);
+        merged.merge(&usage);
+        assert_eq!(merged.advances, 2 * usage.advances);
+        assert_eq!(merged.fused_items, 2 * usage.fused_items);
+        assert_eq!(merged.dirty_steps, 2 * usage.dirty_steps);
+        assert!((merged.mean_dirty_fraction() - usage.mean_dirty_fraction()).abs() < 1e-12);
     }
 }

@@ -240,6 +240,20 @@ impl DeltaEngine {
         &self.delta
     }
 
+    /// The snapshot the engine last advanced to, if any.
+    ///
+    /// The online service re-enters the engine between seals (confidence and
+    /// per-source readings are derived from the advanced problem); this
+    /// exposes which snapshot that state belongs to.
+    pub fn current_snapshot(&self) -> Option<&Snapshot> {
+        self.current.as_ref()
+    }
+
+    /// Whether the engine holds warm state (has advanced at least once).
+    pub fn is_warm(&self) -> bool {
+        self.current.is_some()
+    }
+
     /// Advance the engine to `snapshot`: diff against the previous day,
     /// refill only the dirty CSR rows (or fall back per the policy), and
     /// record per-method pending work.

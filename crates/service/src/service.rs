@@ -1,0 +1,581 @@
+//! The [`FusionService`]: ingest-side owner of the ledger, the
+//! [`DeltaEngine`], and the publication slot.
+
+use crate::ops::{OpKind, Operation};
+use crate::state::{ServedState, ServiceReader, ServiceStats};
+use datamodel::{DomainSchema, ItemId, SnapshotBuilder, SourceId, ToleranceContext};
+use evaluation::DeltaUsage;
+use fusion::delta::AdvanceReport;
+use fusion::{method_by_name, DeltaEngine, DeltaPolicy, FusionMethod, FusionOptions};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Tuning of a [`FusionService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Registry names of the methods to materialize on every seal
+    /// (default: all sixteen).
+    pub methods: Vec<String>,
+    /// Fusion options every method runs under.
+    pub options: FusionOptions,
+    /// The wrapped engine's delta policy (default: exact mode, so served
+    /// results are bit-identical to a cold batch run of the sealed day).
+    pub policy: DeltaPolicy,
+    /// Pin the tolerance context of every seal after the first to the first
+    /// sealed day's (default: true). This is what keeps day-over-day deltas
+    /// small — a lone value edit dirties only its own item instead of,
+    /// through a moved attribute median, every item of the attribute.
+    pub pin_tolerance: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            methods: fusion::all_methods()
+                .iter()
+                .map(|(_, m)| m.name())
+                .collect(),
+            options: FusionOptions::standard(),
+            policy: DeltaPolicy::exact(),
+            pin_tolerance: true,
+        }
+    }
+}
+
+/// What applying one [`Operation`] did.
+#[derive(Debug, Clone)]
+pub enum ApplyOutcome {
+    /// The ledger (or, for a seal, the published state) changed.
+    Applied,
+    /// Exact replay of an already-applied operation: no-op.
+    Duplicate,
+    /// A newer operation for the same key was already applied: no-op.
+    Stale,
+    /// The operation is invalid for this service (reason attached): no-op.
+    Rejected(String),
+    /// A day was sealed, advanced, fused, and published.
+    Sealed(SealReport),
+}
+
+/// Accounting of one sealed day.
+#[derive(Debug, Clone)]
+pub struct SealReport {
+    /// The day sealed.
+    pub day: u32,
+    /// Items in the sealed snapshot.
+    pub items: usize,
+    /// Observations in the sealed snapshot.
+    pub observations: usize,
+    /// The engine's preparation report for the seal.
+    pub advance: AdvanceReport,
+    /// Wall clock spent inside the fusion methods.
+    pub fuse: Duration,
+    /// Wall clock of the whole seal (materialize + advance + fuse +
+    /// publish).
+    pub total: Duration,
+}
+
+/// Outcome counts of one [`FusionService::apply_all`] batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Operations that mutated the ledger.
+    pub applied: usize,
+    /// Exact replays dropped.
+    pub duplicates: usize,
+    /// Stale (superseded-seq) arrivals dropped.
+    pub stale: usize,
+    /// Invalid operations dropped.
+    pub rejected: usize,
+    /// Days sealed.
+    pub seals: usize,
+}
+
+/// Why a sequence gate dropped an operation (kept separate from
+/// [`ApplyOutcome`] so the gates' `Err` stays word-sized).
+#[derive(Debug, Clone, Copy)]
+enum GateFail {
+    Duplicate,
+    Stale,
+}
+
+impl From<GateFail> for ApplyOutcome {
+    fn from(fail: GateFail) -> Self {
+        match fail {
+            GateFail::Duplicate => ApplyOutcome::Duplicate,
+            GateFail::Stale => ApplyOutcome::Stale,
+        }
+    }
+}
+
+/// In-process online fusion service: one claim ledger + one warm
+/// [`DeltaEngine`] per domain, operations in, published [`ServedState`]s
+/// out. See the [crate docs](crate) for the operation model and read-path
+/// contract.
+pub struct FusionService {
+    schema: Arc<DomainSchema>,
+    config: ServiceConfig,
+    methods: Vec<Box<dyn FusionMethod>>,
+    engine: DeltaEngine,
+    /// Persistent claim ledger; claims of offline sources stay here and are
+    /// filtered out at materialization.
+    ledger: SnapshotBuilder,
+    /// Highest applied sequence number per claim key.
+    claim_seq: HashMap<(SourceId, ItemId), u64>,
+    /// Highest applied sequence number per source presence key.
+    source_seq: HashMap<SourceId, u64>,
+    offline: BTreeSet<SourceId>,
+    pinned: Option<ToleranceContext>,
+    next_day: u32,
+    version: u64,
+    stats: ServiceStats,
+    shared: Arc<RwLock<Arc<ServedState>>>,
+}
+
+impl FusionService {
+    /// A service over `schema` with the default configuration (all sixteen
+    /// methods, exact delta mode, pinned tolerances).
+    pub fn new(schema: Arc<DomainSchema>) -> Self {
+        Self::with_config(schema, ServiceConfig::default())
+    }
+
+    /// A service with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// When `config.methods` names a method the registry does not know.
+    pub fn with_config(schema: Arc<DomainSchema>, config: ServiceConfig) -> Self {
+        let methods: Vec<Box<dyn FusionMethod>> = config
+            .methods
+            .iter()
+            .map(|name| {
+                method_by_name(name)
+                    .unwrap_or_else(|| panic!("unknown fusion method {name:?} in ServiceConfig"))
+            })
+            .collect();
+        let engine = DeltaEngine::with_policy(config.policy.clone());
+        Self {
+            schema,
+            config,
+            methods,
+            engine,
+            ledger: SnapshotBuilder::new(0),
+            claim_seq: HashMap::new(),
+            source_seq: HashMap::new(),
+            offline: BTreeSet::new(),
+            pinned: None,
+            next_day: 0,
+            version: 0,
+            stats: ServiceStats::default(),
+            shared: Arc::new(RwLock::new(Arc::new(ServedState::empty()))),
+        }
+    }
+
+    /// A new reader handle onto the published state. Readers can be cloned
+    /// and sent to other threads freely.
+    pub fn reader(&self) -> ServiceReader {
+        ServiceReader::new(Arc::clone(&self.shared))
+    }
+
+    /// The day the next [`OpKind::SealDay`] at or above will seal; days
+    /// below this are already sealed (their seals are duplicates).
+    pub fn next_day(&self) -> u32 {
+        self.next_day
+    }
+
+    /// Claims currently in the ledger (including those of offline sources).
+    pub fn ledger_observations(&self) -> usize {
+        self.ledger.num_observations()
+    }
+
+    /// Current cumulative accounting (the published state carries the copy
+    /// frozen at its seal).
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.clone()
+    }
+
+    /// Apply one operation; see [`ApplyOutcome`] for what can happen.
+    ///
+    /// Claim and presence operations resolve out-of-order and duplicated
+    /// delivery by sequence number (highest wins, replays are no-ops), so
+    /// any interleaving of a producer's per-day operations converges to the
+    /// same ledger. `SealDay` is the ordering barrier: it captures whatever
+    /// has arrived, and sealing an already-sealed day is a duplicate no-op.
+    pub fn apply(&mut self, op: Operation) -> ApplyOutcome {
+        let outcome = self.apply_inner(op);
+        match &outcome {
+            ApplyOutcome::Applied => self.stats.ops_applied += 1,
+            ApplyOutcome::Sealed(_) => self.stats.ops_applied += 1,
+            ApplyOutcome::Duplicate => self.stats.ops_duplicate += 1,
+            ApplyOutcome::Stale => self.stats.ops_stale += 1,
+            ApplyOutcome::Rejected(_) => self.stats.ops_rejected += 1,
+        }
+        outcome
+    }
+
+    /// Apply a batch of operations, returning the outcome counts.
+    pub fn apply_all(&mut self, ops: impl IntoIterator<Item = Operation>) -> IngestSummary {
+        let mut summary = IngestSummary::default();
+        for op in ops {
+            match self.apply(op) {
+                ApplyOutcome::Applied => summary.applied += 1,
+                ApplyOutcome::Duplicate => summary.duplicates += 1,
+                ApplyOutcome::Stale => summary.stale += 1,
+                ApplyOutcome::Rejected(_) => summary.rejected += 1,
+                ApplyOutcome::Sealed(_) => {
+                    summary.applied += 1;
+                    summary.seals += 1;
+                }
+            }
+        }
+        summary
+    }
+
+    fn apply_inner(&mut self, op: Operation) -> ApplyOutcome {
+        match op.kind {
+            OpKind::UpsertClaim {
+                source,
+                object,
+                attr,
+                value,
+            } => {
+                if attr.index() >= self.schema.num_attributes() {
+                    return ApplyOutcome::Rejected(format!(
+                        "attribute {} out of range for schema with {} attributes",
+                        attr.index(),
+                        self.schema.num_attributes()
+                    ));
+                }
+                match self.claim_gate(source, object, attr, op.seq) {
+                    Ok(()) => {
+                        self.ledger.add(source, object, attr, value);
+                        ApplyOutcome::Applied
+                    }
+                    Err(fail) => fail.into(),
+                }
+            }
+            OpKind::RetractClaim {
+                source,
+                object,
+                attr,
+            } => {
+                if attr.index() >= self.schema.num_attributes() {
+                    return ApplyOutcome::Rejected(format!(
+                        "attribute {} out of range for schema with {} attributes",
+                        attr.index(),
+                        self.schema.num_attributes()
+                    ));
+                }
+                match self.claim_gate(source, object, attr, op.seq) {
+                    Ok(()) => {
+                        // Applying a retraction for a claim that never
+                        // arrived is still Applied: it records the sequence
+                        // number, so the late upsert it supersedes will be
+                        // dropped as stale whenever it shows up.
+                        self.ledger.remove(source, object, attr);
+                        ApplyOutcome::Applied
+                    }
+                    Err(fail) => fail.into(),
+                }
+            }
+            OpKind::SourceLeave { source } => match self.source_gate(source, op.seq) {
+                Ok(()) => {
+                    self.offline.insert(source);
+                    ApplyOutcome::Applied
+                }
+                Err(fail) => fail.into(),
+            },
+            OpKind::SourceRejoin { source } => match self.source_gate(source, op.seq) {
+                Ok(()) => {
+                    self.offline.remove(&source);
+                    ApplyOutcome::Applied
+                }
+                Err(fail) => fail.into(),
+            },
+            OpKind::SealDay { day } => {
+                if day < self.next_day {
+                    return ApplyOutcome::Duplicate;
+                }
+                ApplyOutcome::Sealed(self.seal(day))
+            }
+        }
+    }
+
+    /// Last-writer-wins gate for one claim key.
+    fn claim_gate(
+        &mut self,
+        source: SourceId,
+        object: datamodel::ObjectId,
+        attr: datamodel::AttrId,
+        seq: u64,
+    ) -> Result<(), GateFail> {
+        let key = (source, ItemId::new(object, attr));
+        match self.claim_seq.get(&key) {
+            Some(&applied) if seq == applied => Err(GateFail::Duplicate),
+            Some(&applied) if seq < applied => Err(GateFail::Stale),
+            _ => {
+                self.claim_seq.insert(key, seq);
+                Ok(())
+            }
+        }
+    }
+
+    /// Last-writer-wins gate for one source's presence.
+    fn source_gate(&mut self, source: SourceId, seq: u64) -> Result<(), GateFail> {
+        match self.source_seq.get(&source) {
+            Some(&applied) if seq == applied => Err(GateFail::Duplicate),
+            Some(&applied) if seq < applied => Err(GateFail::Stale),
+            _ => {
+                self.source_seq.insert(source, seq);
+                Ok(())
+            }
+        }
+    }
+
+    /// Materialize the ledger for `day`, advance the engine, fuse every
+    /// configured method, and publish the new [`ServedState`].
+    fn seal(&mut self, day: u32) -> SealReport {
+        let started = Instant::now();
+        self.ledger.set_day(day);
+        let snapshot = self
+            .ledger
+            .materialize(Arc::clone(&self.schema), self.pinned.as_ref(), &self.offline);
+        if self.config.pin_tolerance && self.pinned.is_none() {
+            self.pinned = Some(snapshot.tolerance().clone());
+        }
+
+        let mut seal_usage = DeltaUsage::default();
+        let advance = self.engine.advance(&snapshot);
+        seal_usage.record_advance(&advance);
+
+        let mut fuse = Duration::ZERO;
+        let mut results = Vec::with_capacity(self.methods.len());
+        for method in &self.methods {
+            let (result, run) = self.engine.run(method.as_ref(), &self.config.options);
+            seal_usage.record_run(&run);
+            fuse += run.elapsed;
+            results.push((method.name(), result));
+        }
+
+        self.next_day = day + 1;
+        self.version += 1;
+        let pre_publish = started.elapsed();
+        self.stats.seals += 1;
+        self.stats.seal_wall += pre_publish;
+        self.stats.fuse_wall += fuse;
+        self.stats.delta.merge(&seal_usage);
+
+        let state = ServedState::from_problem(
+            day,
+            self.version,
+            self.engine.problem(),
+            &results,
+            self.stats.clone(),
+        );
+        *self.shared.write().expect("served state lock poisoned") = Arc::new(state);
+
+        let total = started.elapsed();
+        self.stats.seal_wall += total - pre_publish;
+        SealReport {
+            day,
+            items: snapshot.num_items(),
+            observations: snapshot.num_observations(),
+            advance,
+            fuse,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{AttrId, AttrKind, ObjectId, Value};
+
+    fn schema() -> Arc<DomainSchema> {
+        let mut s = DomainSchema::new("test");
+        s.add_attribute("x", AttrKind::Numeric { scale: 100.0 }, false);
+        for i in 0..4 {
+            s.add_source(format!("s{i}"), false);
+        }
+        Arc::new(s)
+    }
+
+    fn vote_service() -> FusionService {
+        FusionService::with_config(
+            schema(),
+            ServiceConfig {
+                methods: vec!["Vote".to_string()],
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn upsert(seq: u64, s: u32, obj: u32, v: f64) -> Operation {
+        Operation::upsert(seq, SourceId(s), ObjectId(obj), AttrId(0), Value::number(v))
+    }
+
+    #[test]
+    fn duplicate_and_stale_claims_are_no_ops() {
+        let mut svc = vote_service();
+        assert!(matches!(svc.apply(upsert(5, 0, 0, 1.0)), ApplyOutcome::Applied));
+        // Exact replay: duplicate.
+        assert!(matches!(svc.apply(upsert(5, 0, 0, 1.0)), ApplyOutcome::Duplicate));
+        // Lower seq for the same key: stale, value unchanged.
+        assert!(matches!(svc.apply(upsert(3, 0, 0, 9.0)), ApplyOutcome::Stale));
+        // Higher seq: replaces.
+        assert!(matches!(svc.apply(upsert(7, 0, 0, 2.0)), ApplyOutcome::Applied));
+        assert_eq!(svc.ledger_observations(), 1);
+
+        let stats = svc.stats();
+        assert_eq!(stats.ops_applied, 2);
+        assert_eq!(stats.ops_duplicate, 1);
+        assert_eq!(stats.ops_stale, 1);
+    }
+
+    #[test]
+    fn retraction_commutes_with_its_upsert() {
+        // Retract (seq 9) arrives before the upsert it supersedes (seq 4):
+        // the upsert must be dropped, leaving no claim.
+        let mut svc = vote_service();
+        svc.apply(upsert(1, 1, 0, 5.0));
+        assert!(matches!(
+            svc.apply(Operation::retract(9, SourceId(0), ObjectId(0), AttrId(0))),
+            ApplyOutcome::Applied
+        ));
+        assert!(matches!(svc.apply(upsert(4, 0, 0, 1.0)), ApplyOutcome::Stale));
+        assert_eq!(svc.ledger_observations(), 1);
+    }
+
+    #[test]
+    fn out_of_range_attribute_is_rejected() {
+        let mut svc = vote_service();
+        let bad = Operation::upsert(1, SourceId(0), ObjectId(0), AttrId(7), Value::number(1.0));
+        assert!(matches!(svc.apply(bad), ApplyOutcome::Rejected(_)));
+        assert_eq!(svc.stats().ops_rejected, 1);
+        assert_eq!(svc.ledger_observations(), 0);
+    }
+
+    #[test]
+    fn seal_publishes_and_resealing_is_duplicate() {
+        let mut svc = vote_service();
+        let reader = svc.reader();
+        assert_eq!(reader.day(), None);
+        assert!(reader.answer("Vote", ItemId::new(ObjectId(0), AttrId(0))).is_none());
+
+        // Median ~100 ⇒ tolerance ~1.0: the first three claims bucket
+        // together, 150 stands alone.
+        for (seq, (s, v)) in [(0u32, 100.0), (1, 100.0), (2, 100.2), (3, 150.0)]
+            .into_iter()
+            .enumerate()
+        {
+            svc.apply(upsert(seq as u64, s, 0, v));
+        }
+        let outcome = svc.apply(Operation::seal(100, 0));
+        let ApplyOutcome::Sealed(report) = outcome else {
+            panic!("expected Sealed, got {outcome:?}");
+        };
+        assert_eq!(report.day, 0);
+        assert_eq!(report.items, 1);
+        assert_eq!(report.observations, 4);
+        assert!(report.advance.first_day);
+
+        assert_eq!(reader.day(), Some(0));
+        let answer = reader
+            .answer("Vote", ItemId::new(ObjectId(0), AttrId(0)))
+            .expect("sealed item answers");
+        assert_eq!(answer.value, Value::number(100.0));
+        assert_eq!(answer.sources.len(), 4);
+        assert!(answer.confidence > 0.5 && answer.confidence <= 1.0);
+        // Readings come back source-sorted, agreement flags match buckets.
+        let agreeing = answer.sources.iter().filter(|r| r.agrees).count();
+        assert_eq!(agreeing, 3);
+        assert!(answer.sources.windows(2).all(|w| w[0].source < w[1].source));
+        assert!(reader.trust("Vote", SourceId(0)).is_some());
+
+        // Sealing day 0 again: duplicate, nothing republished.
+        let v = reader.version();
+        assert!(matches!(svc.apply(Operation::seal(101, 0)), ApplyOutcome::Duplicate));
+        assert_eq!(reader.version(), v);
+    }
+
+    #[test]
+    fn leave_excludes_claims_until_rejoin() {
+        let mut svc = vote_service();
+        svc.apply(upsert(0, 0, 0, 1.0));
+        svc.apply(upsert(1, 1, 0, 1.0));
+        svc.apply(Operation::leave(2, SourceId(1)));
+        let ApplyOutcome::Sealed(r0) = svc.apply(Operation::seal(3, 0)) else {
+            panic!("seal failed");
+        };
+        assert_eq!(r0.observations, 1);
+
+        // Rejoin: the ledgered claim reappears on the next seal; the claim
+        // itself never had to be re-sent.
+        svc.apply(Operation::rejoin(4, SourceId(1)));
+        let ApplyOutcome::Sealed(r1) = svc.apply(Operation::seal(5, 1)) else {
+            panic!("seal failed");
+        };
+        assert_eq!(r1.observations, 2);
+        assert_eq!(r1.advance.added_sources, 1);
+
+        // A stale leave (lower seq than the applied rejoin) is dropped.
+        assert!(matches!(
+            svc.apply(Operation::leave(3, SourceId(1))),
+            ApplyOutcome::Stale
+        ));
+
+        let stats = svc.stats();
+        assert_eq!(stats.seals, 2);
+        assert_eq!(stats.delta.advances, 2);
+        assert!(stats.seal_wall >= stats.fuse_wall);
+    }
+
+    #[test]
+    fn shuffled_ingest_converges_to_direct_ledger_state() {
+        // Same claims, two arrival orders (one with duplicates), same
+        // published selection bits.
+        let claims: Vec<(u64, u32, u32, f64)> = vec![
+            (0, 0, 0, 1.0),
+            (1, 1, 0, 1.0),
+            (2, 2, 0, 2.0),
+            (3, 0, 1, 7.0),
+            (4, 1, 1, 7.2),
+            (5, 2, 1, 9.0),
+        ];
+        let mut forward = vote_service();
+        for &(seq, s, obj, v) in &claims {
+            forward.apply(upsert(seq, s, obj, v));
+        }
+        forward.apply(Operation::seal(99, 0));
+
+        let mut scrambled = vote_service();
+        let mut order: Vec<usize> = vec![3, 0, 5, 2, 2, 4, 1, 0, 5];
+        order.reverse();
+        for i in order {
+            let (seq, s, obj, v) = claims[i];
+            scrambled.apply(upsert(seq, s, obj, v));
+        }
+        scrambled.apply(Operation::seal(99, 0));
+
+        let a = forward.reader().state();
+        let b = scrambled.reader().state();
+        assert_eq!(a.items(), b.items());
+        assert_eq!(a.selection("Vote"), b.selection("Vote"));
+        let ta: Vec<u64> = a.trust_vector("Vote").unwrap().iter().map(|t| t.to_bits()).collect();
+        let tb: Vec<u64> = b.trust_vector("Vote").unwrap().iter().map(|t| t.to_bits()).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fusion method")]
+    fn unknown_method_name_panics_at_construction() {
+        let _ = FusionService::with_config(
+            schema(),
+            ServiceConfig {
+                methods: vec!["NotAMethod".to_string()],
+                ..ServiceConfig::default()
+            },
+        );
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`fusion`] — the sixteen fusion methods of Table 6 behind one trait;
 //! * [`evaluation`] — the Section-4 experiment harness (precision/recall,
 //!   trust quality, incremental sources, method comparison, error analysis,
-//!   over-time summaries).
+//!   over-time summaries);
+//! * [`service`] — the in-process online fusion service: idempotent
+//!   operation ingest over a warm delta engine, concurrent lock-cheap reads
+//!   of selected values, confidence, and per-source trust.
 //!
 //! # Quick start
 //!
@@ -41,6 +44,7 @@ pub use datamodel;
 pub use evaluation;
 pub use fusion;
 pub use profiling;
+pub use service;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -59,6 +63,7 @@ pub mod prelude {
         dominance_profile, dominant_value_precision, redundancy_summary, snapshot_inconsistency,
         source_accuracies,
     };
+    pub use service::{FusionService, OpKind, Operation, ServiceConfig, ServiceReader};
 }
 
 #[cfg(test)]
